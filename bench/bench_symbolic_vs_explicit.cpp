@@ -1,0 +1,159 @@
+// E3 — symbolic vs explicit-state verification cost.
+//
+// The paper's motivation cites Fusion's SMT-based pruning beating Inspect's
+// DPOR-style explicit enumeration. Here: deciding "can the assertion fail?"
+// via one SMT query vs exhaustively exploring the interleaving space. The
+// expected shape is the paper's: explicit blows up combinatorially with the
+// number of racing messages, the symbolic query does not.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "check/dpor.hpp"
+#include "check/explicit_checker.hpp"
+#include "check/symbolic_checker.hpp"
+#include "check/workloads.hpp"
+#include "mcapi/executor.hpp"
+#include "support/stats.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace mcsym;
+namespace wl = check::workloads;
+
+trace::Trace record_complete(const mcapi::Program& p) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    mcapi::System sys(p);
+    trace::Trace tr(p);
+    trace::Recorder rec(tr);
+    mcapi::RandomScheduler sched(seed);
+    if (mcapi::run(sys, sched, &rec).completed()) return tr;
+  }
+  std::fprintf(stderr, "no completing run found\n");
+  std::abort();
+}
+
+void print_table() {
+  std::printf("== E3: one-query symbolic check vs explicit enumeration ==\n");
+  std::printf("%-24s %-10s %-13s %-13s %-13s %-10s\n", "workload", "verdict",
+              "symbolic(ms)", "explicit(ms)", "dpor(ms)", "states");
+  for (std::uint32_t workers = 2; workers <= 4; ++workers) {
+    const mcapi::Program p = wl::scatter_gather(workers);
+    const trace::Trace tr = record_complete(p);
+
+    support::Stopwatch t1;
+    check::SymbolicChecker sym(tr);
+    const auto verdict = sym.check();
+    const double sym_ms = t1.millis();
+
+    support::Stopwatch t2;
+    check::ExplicitChecker exp(p);
+    const auto er = exp.run();
+    const double exp_ms = t2.millis();
+
+    support::Stopwatch t3;
+    check::DporChecker dpor(p);
+    const auto dr = dpor.run();
+    const double dpor_ms = t3.millis();
+
+    char name[40];
+    std::snprintf(name, sizeof name, "scatter_gather(%u)", workers);
+    const bool agree = verdict.violation_possible() == er.violation_found &&
+                       er.violation_found == dr.violation_found;
+    std::printf("%-24s %-10s %-13.2f %-13.2f %-13.2f %-10llu\n", name,
+                agree ? (er.violation_found ? "SAT/bug" : "UNSAT/ok")
+                      : "DISAGREE!",
+                sym_ms, exp_ms, dpor_ms,
+                static_cast<unsigned long long>(er.states_expanded));
+  }
+  std::printf("paper expectation: agreement on the verdict; explicit state "
+              "count (and time) grows combinatorially — DPOR (Inspect-style "
+              "sleep sets) delays but does not avoid the blow-up — while the "
+              "SMT query does not.\n\n");
+}
+
+void BM_Symbolic_ScatterGather(benchmark::State& state) {
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  const mcapi::Program p = wl::scatter_gather(workers);
+  const trace::Trace tr = record_complete(p);
+  for (auto _ : state) {
+    check::SymbolicChecker checker(tr);
+    benchmark::DoNotOptimize(checker.check().result);
+  }
+}
+BENCHMARK(BM_Symbolic_ScatterGather)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_Explicit_ScatterGather(benchmark::State& state) {
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  const mcapi::Program p = wl::scatter_gather(workers);
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    check::ExplicitChecker checker(p);
+    const auto r = checker.run();
+    states = r.states_expanded;
+    benchmark::DoNotOptimize(r.violation_found);
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_Explicit_ScatterGather)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_Symbolic_MessageRaceUnsat(benchmark::State& state) {
+  // No property: enumeration-free single check on a clean workload would be
+  // trivially SAT; instead verify the deterministic pipeline (UNSAT case).
+  const auto stages = static_cast<std::uint32_t>(state.range(0));
+  const mcapi::Program p = wl::pipeline(stages, 3);
+  const trace::Trace tr = record_complete(p);
+  for (auto _ : state) {
+    check::SymbolicChecker checker(tr);
+    benchmark::DoNotOptimize(checker.check().result);
+  }
+}
+BENCHMARK(BM_Symbolic_MessageRaceUnsat)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_Explicit_PipelineUnsat(benchmark::State& state) {
+  const auto stages = static_cast<std::uint32_t>(state.range(0));
+  const mcapi::Program p = wl::pipeline(stages, 3);
+  for (auto _ : state) {
+    check::ExplicitChecker checker(p);
+    benchmark::DoNotOptimize(checker.run().violation_found);
+  }
+}
+BENCHMARK(BM_Explicit_PipelineUnsat)->Arg(3)->Arg(5);
+
+void BM_Dpor_ScatterGather(benchmark::State& state) {
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  const mcapi::Program p = wl::scatter_gather(workers);
+  std::uint64_t transitions = 0;
+  for (auto _ : state) {
+    check::DporChecker checker(p);
+    const auto r = checker.run();
+    transitions = r.transitions;
+    benchmark::DoNotOptimize(r.violation_found);
+  }
+  state.counters["transitions"] = static_cast<double>(transitions);
+}
+BENCHMARK(BM_Dpor_ScatterGather)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_Dpor_MessageRace(benchmark::State& state) {
+  const auto senders = static_cast<std::uint32_t>(state.range(0));
+  const mcapi::Program p = wl::message_race(senders, 2);
+  std::uint64_t prunes = 0;
+  for (auto _ : state) {
+    check::DporChecker checker(p);
+    const auto r = checker.run();
+    prunes = r.sleep_prunes;
+    benchmark::DoNotOptimize(r.terminal_states);
+  }
+  state.counters["sleep_prunes"] = static_cast<double>(prunes);
+}
+BENCHMARK(BM_Dpor_MessageRace)->Arg(2)->Arg(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Non-blocking receives: recv_i / wait semantics (§2 of the paper).
+//
+// The receiver posts all receives up front and waits later; a send matches a
+// non-blocking receive if it is issued before the *wait* completes, so the
+// match window is wider than the issue point suggests. The example contrasts
+// the paper's wait-anchored encoding with the (incorrect) issue-anchored
+// variant to show the behaviors the latter loses.
+#include <cstdio>
+
+#include "check/symbolic_checker.hpp"
+#include "check/workloads.hpp"
+#include "mcapi/executor.hpp"
+#include "trace/trace.hpp"
+
+int main() {
+  using namespace mcsym;
+
+  constexpr std::uint32_t kSenders = 3;
+  const mcapi::Program program = check::workloads::nonblocking_gather(kSenders);
+
+  mcapi::System system(program);
+  trace::Trace tr(program);
+  trace::Recorder recorder(tr);
+  // Round-robin delivers in posting order here, so the recorded run passes
+  // its assertion — the point is that the symbolic engine still finds the
+  // racy schedules hiding behind that one green run.
+  mcapi::RoundRobinScheduler scheduler;
+  const mcapi::RunResult run = mcapi::run(system, scheduler, &recorder);
+  std::printf("nonblocking_gather(%u senders): run %s, %zu events\n", kSenders,
+              run.completed() ? "completed" : "FAILED", tr.size());
+
+  check::SymbolicChecker paper(tr);
+  const auto paper_enum = paper.enumerate_matchings();
+  std::printf("wait-anchored (paper) matchings: %zu\n",
+              paper_enum.matchings.size());
+
+  check::SymbolicOptions issue_opts;
+  issue_opts.encode.anchor_nb_at_wait = false;  // ablation: anchor at issue
+  check::SymbolicChecker ablation(tr, issue_opts);
+  const auto issue_enum = ablation.enumerate_matchings();
+  std::printf("issue-anchored (ablation) matchings: %zu\n",
+              issue_enum.matchings.size());
+
+  const check::SymbolicVerdict verdict = paper.check();
+  std::printf("assertion 'first posted receive got sender 0': %s\n",
+              verdict.violation_possible() ? "violable (race)" : "holds");
+  if (verdict.witness) std::printf("%s", verdict.witness->to_string(tr).c_str());
+  return verdict.violation_possible() ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// DSP-style pipeline verification: the "application running in a Linux
+// environment communicating with a GPU and a DSP" scenario from the paper's
+// introduction, modeled as a chain of MCAPI stages.
+//
+// Per-channel FIFO makes the pipeline deterministic, so the end-to-end
+// assertions hold on *every* execution consistent with the trace: the
+// negated SMT problem is UNSAT — a verification success, not just a failed
+// bug hunt. The example also exports the SMT-LIB problem for inspection.
+#include <cstdio>
+
+#include "check/symbolic_checker.hpp"
+#include "check/workloads.hpp"
+#include "encode/encoder.hpp"
+#include "match/generators.hpp"
+#include "mcapi/executor.hpp"
+#include "smt/smtlib.hpp"
+#include "trace/trace.hpp"
+
+int main() {
+  using namespace mcsym;
+
+  constexpr std::uint32_t kStages = 4;
+  constexpr std::uint32_t kItems = 3;
+  const mcapi::Program program = check::workloads::pipeline(kStages, kItems);
+
+  mcapi::System system(program);
+  trace::Trace tr(program);
+  trace::Recorder recorder(tr);
+  mcapi::RandomScheduler scheduler(/*seed=*/7, /*delivery_bias=*/0.5);
+  const mcapi::RunResult run = mcapi::run(system, scheduler, &recorder);
+  std::printf("pipeline(%u stages, %u items): run %s, %zu trace events\n",
+              kStages, kItems, run.completed() ? "completed" : "FAILED",
+              tr.size());
+
+  check::SymbolicChecker checker(tr);
+  const check::SymbolicVerdict verdict = checker.check();
+  std::printf("stage asserts under all delays/interleavings: %s\n",
+              verdict.result == smt::SolveResult::kUnsat
+                  ? "VERIFIED (negation unsatisfiable)"
+                  : "violable?!");
+  std::printf("encoding: %zu clocks, %zu ids, %zu match disjuncts, "
+              "%zu fifo constraints; solve %.3f ms, %llu conflicts\n",
+              verdict.encode_stats.clock_vars, verdict.encode_stats.id_vars,
+              verdict.encode_stats.match_disjuncts,
+              verdict.encode_stats.fifo_constraints,
+              verdict.solve_seconds * 1e3,
+              static_cast<unsigned long long>(verdict.sat_conflicts));
+
+  // Export the SMT problem the encoder produced (debugging/replay artifact).
+  smt::Solver solver;
+  encode::Encoder encoder(solver, tr, checker.match_set());
+  (void)encoder.encode();
+  const std::string smtlib = smt::to_smtlib(solver.terms(), solver.assertions());
+  std::printf("SMT-LIB export: %zu bytes (first lines below)\n", smtlib.size());
+  for (std::size_t i = 0, lines = 0; i < smtlib.size() && lines < 6; ++i) {
+    std::putchar(smtlib[i]);
+    if (smtlib[i] == '\n') ++lines;
+  }
+  return verdict.result == smt::SolveResult::kUnsat ? 0 : 1;
+}

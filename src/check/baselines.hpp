@@ -1,0 +1,64 @@
+// The two prior tools the paper positions itself against, re-implemented at
+// the level that matters for the comparison: which behaviors they consider.
+//
+//  * MccChecker — MCC (Sharma et al., FMCAD'09) is an explicit-state model
+//    checker for MCAPI that "is not able to consider non-deterministic
+//    delays in the communication network": it only reorders thread steps,
+//    never message arrivals. We model that as exhaustive exploration under
+//    DeliveryMode::kGlobalFifo (the network delivers in global send order).
+//
+//  * DelayIgnorantChecker — the SMT encoding of Elwakil & Yang (PADTAD'10)
+//    likewise "ignores potential delays": its match relation forces arrival
+//    order to equal issue order. We model that as the paper's encoding plus
+//    the delay-ignorant monotonicity constraints.
+//
+// Both miss the Figure-4b pairing of the paper's running example; the tests
+// and bench E1 demonstrate exactly that gap.
+#pragma once
+
+#include "check/explicit_checker.hpp"
+#include "check/symbolic_checker.hpp"
+
+namespace mcsym::check {
+
+class MccChecker {
+ public:
+  explicit MccChecker(const mcapi::Program& program, ExplicitOptions options = {})
+      : inner_(program, patch(options)) {}
+
+  [[nodiscard]] ExplicitResult run() { return inner_.run(); }
+  [[nodiscard]] ExplicitResult enumerate_against(const trace::Trace& reference) {
+    return inner_.enumerate_against(reference);
+  }
+
+ private:
+  static ExplicitOptions patch(ExplicitOptions o) {
+    o.mode = mcapi::DeliveryMode::kGlobalFifo;
+    return o;
+  }
+  ExplicitChecker inner_;
+};
+
+class DelayIgnorantChecker {
+ public:
+  explicit DelayIgnorantChecker(const trace::Trace& trace,
+                                SymbolicOptions options = {})
+      : inner_(trace, patch(options)) {}
+
+  [[nodiscard]] SymbolicVerdict check(
+      std::span<const encode::Property> properties = {}) {
+    return inner_.check(properties);
+  }
+  [[nodiscard]] SymbolicEnumeration enumerate_matchings() {
+    return inner_.enumerate_matchings();
+  }
+
+ private:
+  static SymbolicOptions patch(SymbolicOptions o) {
+    o.encode.delay_ignorant = true;
+    return o;
+  }
+  SymbolicChecker inner_;
+};
+
+}  // namespace mcsym::check

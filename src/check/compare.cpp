@@ -1,0 +1,57 @@
+#include "check/compare.hpp"
+
+#include <sstream>
+
+#include "check/baselines.hpp"
+#include "check/explicit_checker.hpp"
+#include "check/symbolic_checker.hpp"
+#include "match/generators.hpp"
+
+namespace mcsym::check {
+
+BehaviorComparison compare_behaviors(const mcapi::Program& program,
+                                     const trace::Trace& trace) {
+  BehaviorComparison cmp;
+
+  // Ground truth: precise abstract execution of the trace skeleton under the
+  // paper's semantics.
+  cmp.ground_truth = match::enumerate_feasible(trace).matchings;
+
+  // Paper engine: over-approximate match pairs + symbolic enumeration.
+  SymbolicChecker symbolic(trace);
+  cmp.symbolic = symbolic.enumerate_matchings().matchings;
+
+  // MCC baseline: exhaustive explicit search, network in global send order,
+  // projected onto executions following the trace's control flow.
+  ExplicitOptions mcc_opts;
+  mcc_opts.collect_matchings = true;
+  MccChecker mcc(program, mcc_opts);
+  cmp.mcc = mcc.enumerate_against(trace).matchings;
+
+  // Delay-ignorant symbolic baseline.
+  DelayIgnorantChecker delay(trace);
+  cmp.delay_ignorant = delay.enumerate_matchings().matchings;
+
+  return cmp;
+}
+
+std::string BehaviorComparison::summary(const trace::Trace& trace) const {
+  std::ostringstream os;
+  os << "behaviors (distinct matchings) per engine:\n";
+  os << "  ground truth (DFS, delays): " << ground_truth.size() << "\n";
+  os << "  symbolic (this paper):      " << symbolic.size()
+     << (symbolic_exact() ? "  [exact]" : "  [MISMATCH]") << "\n";
+  os << "  MCC-style (no delays):      " << mcc.size() << "  (misses "
+     << missed_by_mcc() << ")\n";
+  os << "  delay-ignorant SMT [2]:     " << delay_ignorant.size() << "  (misses "
+     << missed_by_delay_ignorant() << ")\n";
+  for (const auto& m : ground_truth) {
+    os << "    " << match::matching_to_string(trace, m);
+    if (!mcc.contains(m)) os << "   <- unseen by MCC";
+    if (!delay_ignorant.contains(m)) os << "   <- unseen by [2]";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mcsym::check

@@ -1,0 +1,40 @@
+// Behavior comparison across engines — the experiment behind Figure 4.
+//
+// For one trace, collect the set of feasible send/receive matchings as seen
+// by: the paper's symbolic engine, the precise abstract-execution ground
+// truth, the MCC-style explicit baseline, and the delay-ignorant symbolic
+// baseline. The paper's claim is: symbolic == ground truth, while both
+// baselines miss behaviors whenever two threads race to one endpoint.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "match/match_set.hpp"
+#include "mcapi/program.hpp"
+#include "trace/trace.hpp"
+
+namespace mcsym::check {
+
+struct BehaviorComparison {
+  std::set<match::Matching> ground_truth;    // skeleton DFS, arbitrary delays
+  std::set<match::Matching> symbolic;        // this paper's engine
+  std::set<match::Matching> mcc;             // explicit, global-FIFO network
+  std::set<match::Matching> delay_ignorant;  // Elwakil–Yang-style encoding
+
+  [[nodiscard]] std::size_t missed_by_mcc() const {
+    return ground_truth.size() - mcc.size();
+  }
+  [[nodiscard]] std::size_t missed_by_delay_ignorant() const {
+    return ground_truth.size() - delay_ignorant.size();
+  }
+  /// Soundness+completeness of the symbolic engine wrt ground truth.
+  [[nodiscard]] bool symbolic_exact() const { return symbolic == ground_truth; }
+
+  [[nodiscard]] std::string summary(const trace::Trace& trace) const;
+};
+
+[[nodiscard]] BehaviorComparison compare_behaviors(const mcapi::Program& program,
+                                                   const trace::Trace& trace);
+
+}  // namespace mcsym::check

@@ -1,0 +1,144 @@
+#include "check/dpor.hpp"
+
+#include <algorithm>
+
+#include "support/stats.hpp"
+
+namespace mcsym::check {
+
+using mcapi::Action;
+using mcapi::OpKind;
+using mcapi::System;
+
+DporChecker::DporChecker(const mcapi::Program& program, DporOptions options)
+    : program_(program), options_(options) {}
+
+namespace {
+
+bool is_internal_step(const System& state, const Action& a) {
+  if (a.kind != Action::Kind::kThreadStep) return false;
+  const auto kind = state.next_op_kind(a.thread);
+  if (!kind) return false;
+  switch (*kind) {
+    case OpKind::kAssign:
+    case OpKind::kJmp:
+    case OpKind::kJmpIf:
+    case OpKind::kAssert:
+    case OpKind::kNop:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool DporChecker::independent(const System& state, const Action& a,
+                              const Action& b) const {
+  if (a == b) return false;
+  const bool a_step = a.kind == Action::Kind::kThreadStep;
+  const bool b_step = b.kind == Action::Kind::kThreadStep;
+
+  if (a_step && b_step) {
+    if (a.thread == b.thread) return false;
+    if (options_.mode == mcapi::DeliveryMode::kGlobalFifo) {
+      // Send order fixes the global delivery order: sends interfere.
+      const auto ka = state.next_op_kind(a.thread);
+      const auto kb = state.next_op_kind(b.thread);
+      if (ka == OpKind::kSend && kb == OpKind::kSend) return false;
+    }
+    return true;  // distinct threads touch disjoint local state and channels
+  }
+  if (!a_step && !b_step) {
+    // Deliveries commute unless they feed the same endpoint queue.
+    return a.channel.dst != b.channel.dst;
+  }
+  // One step, one delivery: dependent only when the delivery feeds an
+  // endpoint owned by the stepping thread (receive/bind interference).
+  const Action& step = a_step ? a : b;
+  const Action& deliver = a_step ? b : a;
+  const auto owner = program_.endpoint(deliver.channel.dst).owner;
+  return owner != step.thread;
+}
+
+void DporChecker::explore(const System& state, std::vector<Action>& sleep,
+                          std::vector<Action>& script, DporResult& result) {
+  if (result.truncated || result.violation_found) return;
+  if (result.transitions >= options_.max_transitions) {
+    result.truncated = true;
+    return;
+  }
+
+  if (state.has_violation()) {
+    result.violation_found = true;
+    result.violation = state.violation();
+    result.counterexample = script;
+    return;
+  }
+
+  std::vector<Action> enabled;
+  state.enabled(enabled);
+  if (enabled.empty()) {
+    if (state.all_halted()) {
+      ++result.terminal_states;
+    } else {
+      result.deadlock_found = true;
+    }
+    return;
+  }
+
+  // Local-first ample set: an internal step is independent of everything and
+  // never disabled, so exploring it alone is sound — and the sleep set is
+  // unchanged (no sleeping action depends on it).
+  for (const Action& a : enabled) {
+    if (!is_internal_step(state, a)) continue;
+    System next = state;
+    next.apply(a);
+    ++result.transitions;
+    script.push_back(a);
+    explore(next, sleep, script, result);
+    script.pop_back();
+    return;
+  }
+
+  // Sleep-set exploration of the visible actions.
+  std::vector<Action> done;
+  for (const Action& a : enabled) {
+    if (std::find(sleep.begin(), sleep.end(), a) != sleep.end()) {
+      ++result.sleep_prunes;
+      continue;
+    }
+    System next = state;
+    next.apply(a);
+    ++result.transitions;
+
+    // Child's sleep set: previously slept or already-explored actions that
+    // are independent of `a` stay asleep.
+    std::vector<Action> child_sleep;
+    for (const Action& b : sleep) {
+      if (independent(state, a, b)) child_sleep.push_back(b);
+    }
+    for (const Action& b : done) {
+      if (independent(state, a, b)) child_sleep.push_back(b);
+    }
+
+    script.push_back(a);
+    explore(next, child_sleep, script, result);
+    script.pop_back();
+    if (result.truncated || result.violation_found) return;
+    done.push_back(a);
+  }
+}
+
+DporResult DporChecker::run() {
+  const support::Stopwatch timer;
+  DporResult result;
+  System init(program_, options_.mode);
+  std::vector<Action> sleep;
+  std::vector<Action> script;
+  explore(init, sleep, script, result);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace mcsym::check

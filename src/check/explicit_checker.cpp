@@ -1,0 +1,167 @@
+#include "check/explicit_checker.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+
+namespace mcsym::check {
+
+using mcapi::Action;
+using mcapi::System;
+
+ExplicitChecker::ExplicitChecker(const mcapi::Program& program,
+                                 ExplicitOptions options)
+    : program_(program), options_(options) {}
+
+bool ExplicitChecker::record_terminal(const System& state, ExplicitResult& result,
+                                      const trace::Trace* reference) const {
+  ++result.terminal_states;
+  if (!options_.collect_matchings) return true;
+
+  if (reference != nullptr) {
+    // Keep only executions that followed the reference trace's control flow
+    // (the paper's problems are per-trace: same branch outcomes).
+    std::vector<mcapi::BranchRecord> ref_branches;
+    for (std::size_t i = 0; i < reference->size(); ++i) {
+      const auto& ev = reference->event(static_cast<trace::EventIndex>(i)).ev;
+      // Polls (mcapi_test) are control outcomes too: the System records them
+      // as branch records, so the reference set must include them.
+      if (ev.kind == mcapi::ExecEvent::Kind::kBranch ||
+          ev.kind == mcapi::ExecEvent::Kind::kTest) {
+        ref_branches.push_back({ev.thread, ev.op_index, ev.outcome});
+      }
+      // wait_any: one "skipped" record per request listed before the winner
+      // plus the winner's — mirroring System::step_thread exactly.
+      if (ev.kind == mcapi::ExecEvent::Kind::kWaitAny) {
+        for (std::size_t k = 0; k < ev.loser_issue_ops.size(); ++k) {
+          ref_branches.push_back({ev.thread, ev.op_index, false});
+        }
+        ref_branches.push_back({ev.thread, ev.op_index, true});
+      }
+    }
+    std::vector<mcapi::BranchRecord> got = state.branches();
+    std::sort(got.begin(), got.end());
+    std::sort(ref_branches.begin(), ref_branches.end());
+    if (got != ref_branches) return true;  // different path: out of scope
+
+    // Convert to trace event indices via static operation identity (per-run
+    // uids are issue ordinals and differ across interleavings).
+    match::Matching m;
+    bool ok = true;
+    for (const mcapi::MatchRecord& r : state.matches()) {
+      const trace::EventIndex recv = reference->find(r.thread, r.recv_op_index);
+      const trace::EventIndex send =
+          reference->find(r.send_thread, r.send_op_index);
+      if (recv == trace::kNoEvent || send == trace::kNoEvent) {
+        ok = false;
+        break;
+      }
+      m.emplace_back(recv, send);
+    }
+    if (ok) {
+      std::sort(m.begin(), m.end());
+      result.matchings.insert(std::move(m));
+    }
+  } else {
+    std::vector<mcapi::MatchRecord> m = state.matches();
+    std::sort(m.begin(), m.end());
+    result.raw_matchings.insert(std::move(m));
+  }
+  return result.matchings.size() < options_.max_matchings &&
+         result.raw_matchings.size() < options_.max_matchings;
+}
+
+void ExplicitChecker::dfs(const System& state, std::vector<Action>& script,
+                          ExplicitResult& result, const trace::Trace* reference) {
+  if (result.truncated) return;
+  if (result.violation_found && !options_.collect_matchings) return;
+  if (result.states_expanded >= options_.max_states) {
+    result.truncated = true;
+    return;
+  }
+  ++result.states_expanded;
+
+  if (state.has_violation()) {
+    if (!result.violation_found) {
+      result.violation_found = true;
+      result.violation = state.violation();
+      result.counterexample = script;
+    }
+    // In enumeration mode keep exploring other schedules; a violating
+    // execution is terminal but does not end the search.
+    return;
+  }
+
+  std::vector<Action> actions;
+  state.enabled(actions);
+  if (actions.empty()) {
+    if (state.all_halted()) {
+      if (!record_terminal(state, result, reference)) result.truncated = true;
+    } else {
+      result.deadlock_found = true;
+      if (result.deadlock_schedule.empty()) result.deadlock_schedule = script;
+    }
+    return;
+  }
+
+  for (const Action& a : actions) {
+    System next = state;
+    next.apply(a);
+    if (!options_.collect_matchings) {
+      const std::uint64_t fp = next.fingerprint();
+      if (!visited_.insert(fp).second) {
+        ++result.transitions;
+        continue;
+      }
+    } else if (options_.dedup_histories) {
+      // The history fingerprint covers match/branch records, so identical
+      // keys have identical suffix enumerations — pruning stays exact.
+      if (!visited_histories_.insert(next.history_fingerprint()).second) {
+        ++result.transitions;
+        continue;
+      }
+    }
+    ++result.transitions;
+    script.push_back(a);
+    dfs(next, script, result, reference);
+    script.pop_back();
+    if (result.truncated) return;
+    if (result.violation_found && !options_.collect_matchings) return;
+  }
+}
+
+ExplicitResult ExplicitChecker::run() {
+  const support::Stopwatch timer;
+  ExplicitResult result;
+  visited_.clear();
+  visited_histories_.clear();
+  System init(program_, options_.mode);
+  if (options_.collect_matchings) {
+    if (options_.dedup_histories) visited_histories_.insert(init.history_fingerprint());
+  } else {
+    visited_.insert(init.fingerprint());
+  }
+  std::vector<Action> script;
+  dfs(init, script, result, nullptr);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+ExplicitResult ExplicitChecker::enumerate_against(const trace::Trace& reference) {
+  const support::Stopwatch timer;
+  const bool saved = options_.collect_matchings;
+  options_.collect_matchings = true;
+  ExplicitResult result;
+  visited_.clear();
+  visited_histories_.clear();
+  System init(program_, options_.mode);
+  if (options_.dedup_histories) visited_histories_.insert(init.history_fingerprint());
+  std::vector<Action> script;
+  dfs(init, script, result, &reference);
+  options_.collect_matchings = saved;
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace mcsym::check

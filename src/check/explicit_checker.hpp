@@ -1,0 +1,90 @@
+// Exhaustive explicit-state exploration of a Program's transition system.
+//
+// Two roles:
+//  * ground truth — under DeliveryMode::kArbitraryDelay it enumerates every
+//    behavior of the paper's semantics (scheduler × network delays), which
+//    the symbolic engine is validated against and raced against (the
+//    Fusion-vs-Inspect comparison the paper cites as motivation);
+//  * the MCC baseline — under DeliveryMode::kGlobalFifo it explores exactly
+//    the delay-free world MCC searches, demonstrating the missed behaviors
+//    of Figure 4b.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "match/match_set.hpp"
+#include "mcapi/system.hpp"
+#include "trace/trace.hpp"
+
+namespace mcsym::check {
+
+struct ExplicitOptions {
+  mcapi::DeliveryMode mode = mcapi::DeliveryMode::kArbitraryDelay;
+  std::uint64_t max_states = 10'000'000;
+  /// Collect the matching of every terminal execution. Switches visited-state
+  /// pruning from the semantic fingerprint to the history fingerprint
+  /// (semantic state + accumulated match/branch records), which keeps the
+  /// enumeration exact while still collapsing the factorially many
+  /// interleavings that converge on the same state-and-history.
+  bool collect_matchings = false;
+  /// Disable history-fingerprint pruning in collect_matchings mode (the
+  /// naive enumeration; kept as the ablation baseline for bench E4).
+  bool dedup_histories = true;
+  std::uint64_t max_matchings = 1u << 20;
+};
+
+struct ExplicitResult {
+  bool violation_found = false;
+  std::optional<mcapi::Violation> violation;
+  /// Action schedule reaching the violation (replayable via ReplayScheduler).
+  std::vector<mcapi::Action> counterexample;
+  bool deadlock_found = false;
+  std::vector<mcapi::Action> deadlock_schedule;
+
+  std::uint64_t states_expanded = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t terminal_states = 0;
+  bool truncated = false;
+  double seconds = 0;
+
+  /// Matchings keyed the same way the symbolic side keys them (per-thread
+  /// receive ordinal), already converted to trace event indices when a
+  /// reference trace was supplied.
+  std::set<match::Matching> matchings;
+  /// Raw (thread, recv ordinal, uid) matchings when no trace mapping exists.
+  std::set<std::vector<mcapi::MatchRecord>> raw_matchings;
+};
+
+class ExplicitChecker {
+ public:
+  explicit ExplicitChecker(const mcapi::Program& program, ExplicitOptions options = {});
+
+  /// Searches the full state space for assertion violations and deadlocks.
+  [[nodiscard]] ExplicitResult run();
+
+  /// Like run() with collect_matchings, but converts each execution's
+  /// matching into trace event indices via `reference`; executions whose
+  /// branch outcomes differ from the reference trace are skipped, so the
+  /// result is directly comparable with the symbolic enumeration for that
+  /// trace.
+  [[nodiscard]] ExplicitResult enumerate_against(const trace::Trace& reference);
+
+ private:
+  struct Frame;
+  void dfs(const mcapi::System& state, std::vector<mcapi::Action>& script,
+           ExplicitResult& result, const trace::Trace* reference);
+  [[nodiscard]] bool record_terminal(const mcapi::System& state,
+                                     ExplicitResult& result,
+                                     const trace::Trace* reference) const;
+
+  const mcapi::Program& program_;
+  ExplicitOptions options_;
+  std::unordered_set<std::uint64_t> visited_;
+  std::unordered_set<support::Hash128> visited_histories_;
+};
+
+}  // namespace mcsym::check

@@ -1,0 +1,93 @@
+#include "check/random_program.hpp"
+
+#include <string>
+#include <vector>
+
+namespace mcsym::check {
+
+using mcapi::EndpointRef;
+using mcapi::Program;
+using mcapi::ThreadBuilder;
+
+Program random_program(std::uint64_t seed, RandomProgramOptions options) {
+  support::Rng rng(seed);
+  Program p;
+  std::vector<ThreadBuilder> builders;
+  std::vector<EndpointRef> eps;
+  builders.reserve(options.threads);
+  for (std::uint32_t t = 0; t < options.threads; ++t) {
+    builders.push_back(p.add_thread("rt" + std::to_string(t)));
+    eps.push_back(p.add_endpoint("rep" + std::to_string(t), builders.back().ref()));
+  }
+
+  // Sends first (deadlock freedom); count messages into each endpoint.
+  std::vector<std::uint32_t> inbound(options.threads, 0);
+  std::int64_t payload = 1;
+  for (std::uint32_t t = 0; t < options.threads; ++t) {
+    const std::uint64_t n = rng.below(options.max_sends_per_thread + 1);
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const auto dst = static_cast<std::uint32_t>(rng.below(options.threads));
+      builders[t].send(eps[t], eps[dst], payload++);
+      ++inbound[dst];
+    }
+  }
+
+  // Receives (and occasional local noise) to drain every endpoint.
+  for (std::uint32_t t = 0; t < options.threads; ++t) {
+    std::uint32_t req = 0;
+    std::vector<std::uint32_t> pending_waits;
+    for (std::uint32_t k = 0; k < inbound[t]; ++k) {
+      const std::string var = "v" + std::to_string(k);
+      if (options.allow_nonblocking && rng.chance(1, 3)) {
+        builders[t].recv_nb(eps[t], var, req);
+        pending_waits.push_back(req++);
+        if (options.allow_test_poll && rng.chance(1, 2)) {
+          builders[t].test_poll(pending_waits.back(), "tp" + std::to_string(k));
+        }
+        // Defer the wait with probability 1/2 to widen the match window.
+        if (rng.chance(1, 2) && !pending_waits.empty()) continue;
+        // Flush pending waits, sometimes in reversed order — MCAPI binds in
+        // issue order regardless, and the encoder must model that.
+        if (rng.chance(1, 3)) {
+          for (auto it = pending_waits.rbegin(); it != pending_waits.rend(); ++it) {
+            builders[t].wait(*it);
+          }
+        } else {
+          for (const std::uint32_t w : pending_waits) {
+            if (options.allow_test_poll && rng.chance(1, 3)) {
+              builders[t].test_poll(w, "tq" + std::to_string(w));
+            }
+            // A singleton select is semantically a wait but exercises the
+            // wait_any runtime/trace/encoding path end to end.
+            if (options.allow_wait_any && rng.chance(1, 3)) {
+              builders[t].wait_any({w}, "wa" + std::to_string(w));
+            } else {
+              builders[t].wait(w);
+            }
+          }
+        }
+        pending_waits.clear();
+      } else {
+        builders[t].recv(eps[t], var);
+      }
+      if (options.add_assigns && rng.chance(1, 4)) {
+        builders[t].assign("acc", builders[t].v(var, rng.range(-5, 5)));
+      }
+    }
+    for (const std::uint32_t w : pending_waits) {
+      if (options.allow_test_poll && rng.chance(1, 2)) {
+        builders[t].test_poll(w, "tr" + std::to_string(w));
+      }
+      if (options.allow_wait_any && rng.chance(1, 4)) {
+        builders[t].wait_any({w}, "wb" + std::to_string(w));
+      } else {
+        builders[t].wait(w);
+      }
+    }
+  }
+
+  p.finalize();
+  return p;
+}
+
+}  // namespace mcsym::check

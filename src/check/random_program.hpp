@@ -1,0 +1,32 @@
+// Random deadlock-free MCAPI program generator (property-test fuel).
+//
+// Shape: every thread performs all its sends before its receives, so sends
+// (which never block) are always drainable and every receive is eventually
+// satisfiable — generated programs always run to completion under any
+// scheduler. Receive counts are balanced per endpoint by construction.
+// Optionally mixes non-blocking receives (recv_i + deferred wait) and local
+// assigns so traces exercise the whole event vocabulary.
+#pragma once
+
+#include <cstdint>
+
+#include "mcapi/program.hpp"
+#include "support/rng.hpp"
+
+namespace mcsym::check {
+
+struct RandomProgramOptions {
+  std::uint32_t threads = 3;
+  std::uint32_t max_sends_per_thread = 3;  // uniform in [0, max]
+  bool allow_nonblocking = false;          // mix recv_i/wait pairs in
+  bool allow_test_poll = false;            // sprinkle mcapi_test polls on requests
+  bool allow_wait_any = false;             // consume some requests via wait_any
+  bool add_assigns = true;                 // sprinkle var+const locals
+};
+
+/// Generates a finalized program; identical (seed, options) pairs yield
+/// identical programs.
+[[nodiscard]] mcapi::Program random_program(std::uint64_t seed,
+                                            RandomProgramOptions options = {});
+
+}  // namespace mcsym::check

@@ -1,0 +1,76 @@
+#include "check/symbolic_checker.hpp"
+
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+
+namespace mcsym::check {
+
+SymbolicChecker::SymbolicChecker(const trace::Trace& trace, SymbolicOptions options)
+    : trace_(trace), options_(options) {
+  const support::Stopwatch timer;
+  if (options_.match_gen == MatchGen::kOverapprox) {
+    matches_ = match::generate_overapprox(trace_, options_.overapprox);
+  } else {
+    // The paper's precise method: candidates witnessed by the depth-first
+    // abstract execution. Expensive by design (bench E4).
+    matches_ = match::enumerate_feasible(trace_).precise;
+  }
+  matchgen_seconds_ = timer.seconds();
+}
+
+SymbolicVerdict SymbolicChecker::check(std::span<const encode::Property> properties) {
+  SymbolicVerdict verdict;
+  verdict.matchgen_seconds = matchgen_seconds_;
+
+  smt::Solver solver;
+  support::Stopwatch timer;
+  encode::Encoder encoder(solver, trace_, matches_, options_.encode);
+  const encode::Encoding enc = encoder.encode(properties);
+  verdict.encode_seconds = timer.seconds();
+  verdict.encode_stats = enc.stats;
+
+  if (options_.conflict_budget != 0) {
+    solver.set_conflict_budget(options_.conflict_budget);
+  }
+  timer.restart();
+  verdict.result = solver.check();
+  verdict.solve_seconds = timer.seconds();
+  verdict.sat_conflicts = solver.sat_stats().conflicts;
+  verdict.sat_decisions = solver.sat_stats().decisions;
+  verdict.sat_vars = solver.num_sat_vars();
+  if (verdict.result == smt::SolveResult::kSat) {
+    verdict.witness = encode::decode_witness(solver, enc, trace_);
+  }
+  return verdict;
+}
+
+SymbolicEnumeration SymbolicChecker::enumerate_matchings() {
+  SymbolicEnumeration out;
+  const support::Stopwatch timer;
+
+  smt::Solver solver;
+  encode::EncodeOptions opts = options_.encode;
+  opts.property_mode = encode::PropertyMode::kIgnore;
+  encode::Encoder encoder(solver, trace_, matches_, opts);
+  const encode::Encoding enc = encoder.encode();
+  const std::vector<smt::TermId> projection = enc.id_projection();
+
+  for (;;) {
+    ++out.solver_calls;
+    const smt::SolveResult r = solver.check();
+    if (r == smt::SolveResult::kUnsat) break;
+    MCSYM_ASSERT_MSG(r == smt::SolveResult::kSat,
+                     "enumeration must run without a conflict budget");
+    const encode::Witness w = encode::decode_witness(solver, enc, trace_);
+    out.matchings.insert(w.matching);
+    if (out.matchings.size() >= options_.max_matchings) {
+      out.truncated = true;
+      break;
+    }
+    solver.block_current_ints(projection);
+  }
+  out.seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace mcsym::check

@@ -1,0 +1,81 @@
+// End-to-end symbolic checker: the tool the paper describes.
+//
+// Pipeline: trace -> match-pair generation (over-approximation by default,
+// precise DFS on request) -> SMT encoding -> CDCL+IDL solving ->
+// witness / enumeration. Construct one checker per trace; each query builds
+// a fresh solver so queries are independent.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <span>
+
+#include "encode/encoder.hpp"
+#include "encode/witness.hpp"
+#include "match/generators.hpp"
+#include "smt/solver.hpp"
+#include "trace/trace.hpp"
+
+namespace mcsym::check {
+
+enum class MatchGen : std::uint8_t { kOverapprox, kPrecise };
+
+struct SymbolicOptions {
+  encode::EncodeOptions encode;
+  match::OverapproxOptions overapprox;
+  MatchGen match_gen = MatchGen::kOverapprox;
+  std::uint64_t conflict_budget = 0;   // 0 = unbounded
+  std::uint64_t max_matchings = 1u << 20;
+};
+
+struct SymbolicVerdict {
+  smt::SolveResult result = smt::SolveResult::kUnknown;
+  std::optional<encode::Witness> witness;  // present when result == kSat
+  encode::EncodeStats encode_stats;
+  std::uint64_t sat_conflicts = 0;
+  std::uint64_t sat_decisions = 0;
+  std::uint32_t sat_vars = 0;
+  double matchgen_seconds = 0;
+  double encode_seconds = 0;
+  double solve_seconds = 0;
+
+  /// Bug hunting reading: SAT means some execution consistent with the trace
+  /// violates a property.
+  [[nodiscard]] bool violation_possible() const {
+    return result == smt::SolveResult::kSat;
+  }
+};
+
+struct SymbolicEnumeration {
+  std::set<match::Matching> matchings;
+  bool truncated = false;
+  std::uint64_t solver_calls = 0;
+  double seconds = 0;
+};
+
+class SymbolicChecker {
+ public:
+  explicit SymbolicChecker(const trace::Trace& trace, SymbolicOptions options = {});
+
+  /// Decides whether any execution consistent with the trace violates the
+  /// given properties (plus all in-trace assertions).
+  [[nodiscard]] SymbolicVerdict check(
+      std::span<const encode::Property> properties = {});
+
+  /// Enumerates every distinct send/receive pairing feasible for the trace
+  /// (the Figure-4 experiment). Ignores properties.
+  [[nodiscard]] SymbolicEnumeration enumerate_matchings();
+
+  /// The match set the checker feeds the encoder (for diagnostics/benches).
+  [[nodiscard]] const match::MatchSet& match_set() const { return matches_; }
+  [[nodiscard]] double matchgen_seconds() const { return matchgen_seconds_; }
+
+ private:
+  const trace::Trace& trace_;
+  SymbolicOptions options_;
+  match::MatchSet matches_;
+  double matchgen_seconds_ = 0;
+};
+
+}  // namespace mcsym::check

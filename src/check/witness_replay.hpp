@@ -1,0 +1,36 @@
+// Witness replay: turn a satisfying assignment back into a concrete runtime
+// schedule and execute it.
+//
+// The paper reads the model as "a description of the path to the error
+// state"; this module makes that operational. The model's clock and
+// bind-time values give a total order over sends, receive issues, binds and
+// waits; replaying that order against the real mcapi::System — inserting
+// network deliveries exactly where the binds demand them — must reproduce
+// the witness's matching (and its violation, if any). Tests run every
+// witness the symbolic engine produces through this validator, so any
+// unsoundness in the encoding turns into a loud test failure instead of a
+// bogus counterexample.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "encode/witness.hpp"
+#include "mcapi/system.hpp"
+#include "trace/trace.hpp"
+
+namespace mcsym::check {
+
+struct ReplayedWitness {
+  std::vector<mcapi::Action> script;  // schedule realizing the witness
+  bool violation = false;             // an assert fired during replay
+};
+
+/// Reconstructs and executes the witness's schedule. Returns nullopt when
+/// the schedule diverges from the runtime semantics (which would mean the
+/// encoding admitted an infeasible execution).
+[[nodiscard]] std::optional<ReplayedWitness> schedule_from_witness(
+    const mcapi::Program& program, const trace::Trace& trace,
+    const encode::Witness& witness);
+
+}  // namespace mcsym::check

@@ -1,0 +1,60 @@
+// User-level safety properties over a trace's final state.
+//
+// In-program `assert_that` instructions are the primary property source (the
+// encoder lifts them straight out of the trace, evaluated at their program
+// point). Property objects add end-of-trace conditions — "after the run,
+// t0's `a` equals 1" — without touching the modeled program, the way a
+// verification harness would bolt specs onto an application under test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcapi/ids.hpp"
+#include "mcapi/value.hpp"
+
+namespace mcsym::encode {
+
+struct Operand {
+  bool is_var = false;
+  mcapi::ThreadRef thread = 0;
+  std::string var;       // final SSA version of this thread-local
+  std::int64_t k = 0;    // constant, or offset added to the variable
+
+  static Operand final_var(mcapi::ThreadRef thread, std::string name,
+                           std::int64_t plus = 0) {
+    Operand o;
+    o.is_var = true;
+    o.thread = thread;
+    o.var = std::move(name);
+    o.k = plus;
+    return o;
+  }
+  static Operand constant(std::int64_t value) {
+    Operand o;
+    o.k = value;
+    return o;
+  }
+};
+
+/// lhs REL rhs over final values. The encoder conjoins all properties (and
+/// all traced assertions) into PProp and asserts its negation.
+struct Property {
+  Operand lhs;
+  mcapi::Rel rel = mcapi::Rel::kEq;
+  Operand rhs;
+  std::string label;  // shown in witnesses ("t0.a == t0.b")
+};
+
+[[nodiscard]] inline Property make_property(std::string label, Operand lhs,
+                                            mcapi::Rel rel, Operand rhs) {
+  Property p;
+  p.label = std::move(label);
+  p.lhs = std::move(lhs);
+  p.rel = rel;
+  p.rhs = std::move(rhs);
+  return p;
+}
+
+}  // namespace mcsym::encode

@@ -1,0 +1,329 @@
+// Depth-first abstract execution of a trace skeleton.
+//
+// The skeleton fixes each thread's event sequence (the traced control flow)
+// and re-explores the two nondeterministic dimensions: thread interleaving
+// and network delivery order (per-channel FIFO). Data is irrelevant to
+// matching feasibility, so locals/branches/asserts are auto-advanced.
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "match/generators.hpp"
+#include "support/assert.hpp"
+#include "support/hash.hpp"
+
+namespace mcsym::match {
+
+namespace {
+
+using mcapi::ChannelId;
+using mcapi::ExecEvent;
+
+struct TransitMsg {
+  EventIndex send;
+  std::uint64_t stamp;  // abstract issue order (for kGlobalFifo)
+};
+
+struct SkeletonState {
+  std::vector<std::uint32_t> pos;  // per-thread cursor into thread_events
+  std::vector<std::pair<ChannelId, std::deque<TransitMsg>>> transit;
+  std::vector<std::deque<EventIndex>> ep_queue;  // delivered send events
+  // Pending unbound non-blocking receives per endpoint (issue order), and
+  // the per-request binding (recv-issue event -> send event).
+  std::vector<std::deque<EventIndex>> ep_pending;           // recv-issue events
+  std::vector<std::pair<EventIndex, EventIndex>> bindings;  // issue -> send
+  Matching matching;
+  std::uint64_t next_stamp = 1;
+};
+
+class Explorer {
+ public:
+  Explorer(const trace::Trace& trace, const FeasibleOptions& options)
+      : trace_(trace), options_(options) {}
+
+  FeasibleResult run() {
+    SkeletonState init;
+    init.pos.assign(trace_.num_threads(), 0);
+    init.ep_queue.resize(trace_.program().num_endpoints());
+    init.ep_pending.resize(trace_.program().num_endpoints());
+    advance_internal(init);
+    dfs(init);
+    return std::move(result_);
+  }
+
+ private:
+  [[nodiscard]] const ExecEvent* current(const SkeletonState& s,
+                                         mcapi::ThreadRef t) const {
+    const auto& order = trace_.thread_events(t);
+    if (s.pos[t] >= order.size()) return nullptr;
+    return &trace_.event(order[s.pos[t]]).ev;
+  }
+
+  [[nodiscard]] EventIndex current_index(const SkeletonState& s,
+                                         mcapi::ThreadRef t) const {
+    return trace_.thread_events(t)[s.pos[t]];
+  }
+
+  [[nodiscard]] static EventIndex bound_send(const SkeletonState& s,
+                                             EventIndex issue) {
+    for (const auto& [i, send] : s.bindings) {
+      if (i == issue) return send;
+    }
+    return trace::kNoEvent;
+  }
+
+  /// Steps through data-only events, which have no scheduling relevance.
+  void advance_internal(SkeletonState& s) const {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (mcapi::ThreadRef t = 0; t < s.pos.size(); ++t) {
+        const ExecEvent* e = current(s, t);
+        if (e == nullptr) continue;
+        if (e->kind == ExecEvent::Kind::kAssign ||
+            e->kind == ExecEvent::Kind::kBranch ||
+            e->kind == ExecEvent::Kind::kAssert) {
+          ++s.pos[t];
+          changed = true;
+        }
+      }
+    }
+  }
+
+  void deliver(SkeletonState& s, std::size_t channel_idx) const {
+    auto& [channel, queue] = s.transit[channel_idx];
+    const TransitMsg m = queue.front();
+    queue.pop_front();
+    const mcapi::EndpointRef dst = trace_.event(m.send).ev.dst;
+    if (!s.ep_pending[dst].empty()) {
+      const EventIndex issue = s.ep_pending[dst].front();
+      s.ep_pending[dst].pop_front();
+      s.bindings.emplace_back(issue, m.send);
+      s.matching.emplace_back(issue, m.send);
+    } else {
+      s.ep_queue[dst].push_back(m.send);
+    }
+  }
+
+  void step_thread(SkeletonState& s, mcapi::ThreadRef t) const {
+    const ExecEvent& e = *current(s, t);
+    switch (e.kind) {
+      case ExecEvent::Kind::kSend: {
+        const ChannelId channel{e.src, e.dst};
+        auto it = std::find_if(s.transit.begin(), s.transit.end(),
+                               [&](const auto& c) { return c.first == channel; });
+        if (it == s.transit.end()) {
+          s.transit.emplace_back(channel, std::deque<TransitMsg>{});
+          it = std::prev(s.transit.end());
+        }
+        it->second.push_back(TransitMsg{current_index(s, t), s.next_stamp++});
+        break;
+      }
+      case ExecEvent::Kind::kRecv: {
+        auto& q = s.ep_queue[e.dst];
+        MCSYM_ASSERT(!q.empty());
+        s.matching.emplace_back(current_index(s, t), q.front());
+        q.pop_front();
+        break;
+      }
+      case ExecEvent::Kind::kRecvIssue: {
+        const EventIndex issue = current_index(s, t);
+        auto& q = s.ep_queue[e.dst];
+        if (!q.empty()) {
+          s.bindings.emplace_back(issue, q.front());
+          s.matching.emplace_back(issue, q.front());
+          q.pop_front();
+        } else {
+          s.ep_pending[e.dst].push_back(issue);
+        }
+        break;
+      }
+      case ExecEvent::Kind::kWait:
+        break;  // enabledness already guaranteed the binding exists
+      case ExecEvent::Kind::kTest:
+        break;  // enabledness already matched the traced poll outcome
+      case ExecEvent::Kind::kWaitAny:
+        break;  // enabledness already matched the traced winner
+      default:
+        MCSYM_UNREACHABLE("internal events are auto-advanced");
+    }
+    ++s.pos[t];
+    advance_internal(s);
+  }
+
+  /// Canonical digest of (abstract state, accumulated matching). Event
+  /// indices are trace-stable, so equal digests mean equal suffix behavior
+  /// regardless of how the state was reached.
+  [[nodiscard]] support::Hash128 state_key(const SkeletonState& s) const {
+    support::StateHasher hasher;
+    for (const std::uint32_t p : s.pos) hasher.mix(p);
+
+    // Stamp ranks steer delivery only under global-FIFO semantics.
+    std::vector<std::uint64_t> stamps;
+    if (options_.semantics == DeliverySemantics::kGlobalFifo) {
+      for (const auto& [channel, queue] : s.transit) {
+        for (const TransitMsg& m : queue) stamps.push_back(m.stamp);
+      }
+      std::sort(stamps.begin(), stamps.end());
+    }
+
+    for (const auto& [channel, queue] : s.transit) {
+      if (queue.empty()) continue;
+      support::StateHasher ch;
+      ch.mix(channel.src);
+      ch.mix(channel.dst);
+      for (const TransitMsg& m : queue) {
+        ch.mix(m.send);
+        if (options_.semantics == DeliverySemantics::kGlobalFifo) {
+          const auto it = std::lower_bound(stamps.begin(), stamps.end(), m.stamp);
+          ch.mix(static_cast<std::uint64_t>(it - stamps.begin()));
+        }
+      }
+      hasher.mix_unordered(ch.digest());
+    }
+
+    hasher.mix(0x9e3779b97f4a7c15ULL);
+    for (const auto& q : s.ep_queue) {
+      hasher.mix(0xff51afd7u);
+      for (const EventIndex e : q) hasher.mix(e);
+    }
+    for (const auto& q : s.ep_pending) {
+      hasher.mix(0xc4ceb9feu);
+      for (const EventIndex e : q) hasher.mix(e);
+    }
+
+    std::vector<std::pair<EventIndex, EventIndex>> bindings = s.bindings;
+    std::sort(bindings.begin(), bindings.end());
+    hasher.mix(0x5bd1e995u);
+    for (const auto& [issue, send] : bindings) {
+      hasher.mix(issue);
+      hasher.mix(send);
+    }
+
+    Matching m = s.matching;
+    std::sort(m.begin(), m.end());
+    hasher.mix(0xc2b2ae35u);
+    for (const auto& [recv, send] : m) {
+      hasher.mix(recv);
+      hasher.mix(send);
+    }
+    return hasher.digest();
+  }
+
+  void dfs(const SkeletonState& s) {
+    if (result_.truncated) return;
+    if (options_.dedup_states) {
+      if (!visited_.insert(state_key(s)).second) {
+        ++result_.dedup_hits;
+        return;
+      }
+      if (visited_.size() >= options_.max_states) {
+        result_.truncated = true;
+        return;
+      }
+    }
+    ++result_.states_expanded;
+
+    // Terminal: all cursors at the end.
+    bool done = true;
+    for (mcapi::ThreadRef t = 0; t < s.pos.size(); ++t) {
+      if (current(s, t) != nullptr) {
+        done = false;
+        break;
+      }
+    }
+    if (done) {
+      ++result_.paths_explored;
+      Matching m = s.matching;
+      std::sort(m.begin(), m.end());
+      for (const auto& [recv, send] : m) result_.precise.add(recv, send);
+      result_.matchings.insert(std::move(m));
+      if (result_.paths_explored >= options_.max_paths) result_.truncated = true;
+      return;
+    }
+
+    // Thread moves.
+    for (mcapi::ThreadRef t = 0; t < s.pos.size(); ++t) {
+      const ExecEvent* e = current(s, t);
+      if (e == nullptr) continue;
+      bool enabled = true;
+      switch (e->kind) {
+        case ExecEvent::Kind::kRecv:
+          enabled = !s.ep_queue[e->dst].empty();
+          break;
+        case ExecEvent::Kind::kWait: {
+          const EventIndex issue = trace_.event(current_index(s, t)).issue_event;
+          enabled = bound_send(s, issue) != trace::kNoEvent;
+          break;
+        }
+        case ExecEvent::Kind::kTest: {
+          // The skeleton replays the traced control flow, and a poll's
+          // outcome is control: this step may only happen while the request
+          // state agrees with what the trace observed. A false-outcome poll
+          // whose request is already bound can never step again — that
+          // subtree ends without a terminal and contributes nothing, which
+          // is exactly right.
+          const EventIndex issue = trace_.event(current_index(s, t)).issue_event;
+          const bool bound = bound_send(s, issue) != trace::kNoEvent;
+          enabled = bound == trace_.event(current_index(s, t)).ev.outcome;
+          break;
+        }
+        case ExecEvent::Kind::kWaitAny: {
+          // Control: the traced winner must be bound and every request
+          // scanned before it still unbound.
+          const trace::TraceEvent& te = trace_.event(current_index(s, t));
+          enabled = bound_send(s, te.issue_event) != trace::kNoEvent;
+          for (const std::uint32_t op : te.ev.loser_issue_ops) {
+            if (!enabled) break;
+            const EventIndex loser = trace_.find(t, op);
+            if (bound_send(s, loser) != trace::kNoEvent) enabled = false;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      if (!enabled) continue;
+      SkeletonState next = s;
+      step_thread(next, t);
+      dfs(next);
+      if (result_.truncated) return;
+    }
+
+    // Delivery moves (respecting the chosen network semantics).
+    std::uint64_t oldest = 0;
+    if (options_.semantics == DeliverySemantics::kGlobalFifo) {
+      for (const auto& [channel, queue] : s.transit) {
+        if (!queue.empty() && (oldest == 0 || queue.front().stamp < oldest)) {
+          oldest = queue.front().stamp;
+        }
+      }
+    }
+    for (std::size_t c = 0; c < s.transit.size(); ++c) {
+      const auto& queue = s.transit[c].second;
+      if (queue.empty()) continue;
+      if (options_.semantics == DeliverySemantics::kGlobalFifo &&
+          queue.front().stamp != oldest) {
+        continue;
+      }
+      SkeletonState next = s;
+      deliver(next, c);
+      advance_internal(next);
+      dfs(next);
+      if (result_.truncated) return;
+    }
+  }
+
+  const trace::Trace& trace_;
+  FeasibleOptions options_;
+  FeasibleResult result_;
+  std::unordered_set<support::Hash128> visited_;
+};
+
+}  // namespace
+
+FeasibleResult enumerate_feasible(const trace::Trace& trace, FeasibleOptions options) {
+  return Explorer(trace, options).run();
+}
+
+}  // namespace mcsym::match

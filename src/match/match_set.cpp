@@ -1,0 +1,86 @@
+#include "match/match_set.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace mcsym::match {
+
+const std::vector<EventIndex> MatchSet::kEmpty{};
+
+void MatchSet::add(EventIndex recv, EventIndex send) {
+  auto& v = candidates_[recv];
+  if (std::find(v.begin(), v.end(), send) == v.end()) v.push_back(send);
+}
+
+void MatchSet::add_all(EventIndex recv, std::vector<EventIndex> sends) {
+  std::sort(sends.begin(), sends.end());
+  sends.erase(std::unique(sends.begin(), sends.end()), sends.end());
+  candidates_[recv] = std::move(sends);
+}
+
+const std::vector<EventIndex>& MatchSet::get_sends(EventIndex recv) const {
+  const auto it = candidates_.find(recv);
+  return it == candidates_.end() ? kEmpty : it->second;
+}
+
+bool MatchSet::contains(EventIndex recv, EventIndex send) const {
+  const auto& v = get_sends(recv);
+  return std::find(v.begin(), v.end(), send) != v.end();
+}
+
+std::size_t MatchSet::total_pairs() const {
+  std::size_t n = 0;
+  for (const auto& [recv, sends] : candidates_) n += sends.size();
+  return n;
+}
+
+bool MatchSet::covers(const MatchSet& other) const {
+  for (const auto& [recv, sends] : other.candidates_) {
+    for (const EventIndex s : sends) {
+      if (!contains(recv, s)) return false;
+    }
+  }
+  return true;
+}
+
+std::string MatchSet::summary(const trace::Trace& trace) const {
+  std::vector<EventIndex> recvs;
+  recvs.reserve(candidates_.size());
+  for (const auto& [recv, sends] : candidates_) recvs.push_back(recv);
+  std::sort(recvs.begin(), recvs.end());
+  std::ostringstream os;
+  for (const EventIndex r : recvs) {
+    const auto& ev = trace.event(r).ev;
+    os << trace.program().thread(ev.thread).name << ":recv[" << ev.op_index << "] <- {";
+    bool first = true;
+    auto sorted = candidates_.at(r);
+    std::sort(sorted.begin(), sorted.end());
+    for (const EventIndex s : sorted) {
+      const auto& se = trace.event(s).ev;
+      if (!first) os << ", ";
+      first = false;
+      os << trace.program().thread(se.thread).name << ":send[" << se.op_index
+         << "]#" << se.uid;
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+std::string matching_to_string(const trace::Trace& trace, const Matching& m) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [recv, send] : m) {
+    const auto& re = trace.event(recv).ev;
+    const auto& se = trace.event(send).ev;
+    if (!first) os << ", ";
+    first = false;
+    os << trace.program().thread(se.thread).name << ":send#" << se.uid << "->"
+       << trace.program().thread(re.thread).name << ":recv[" << re.op_index << "]";
+  }
+  return os.str();
+}
+
+}  // namespace mcsym::match

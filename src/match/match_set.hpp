@@ -1,0 +1,53 @@
+// Match pairs: the paper's `MatchPairs` set and `getSends` map.
+//
+// A MatchSet stores, for every receive anchor in a trace (blocking recv
+// events and non-blocking recv-issue events), the candidate send events it
+// may pair with. Producers: the endpoint-based over-approximation
+// (overapprox.cpp) and the precise depth-first abstract execution
+// (feasible.cpp). Consumer: the symbolic encoder (its Fig. 2 loop is exactly
+// `for recv in receives(): for send in get_sends(recv): ...`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace mcsym::match {
+
+using trace::EventIndex;
+
+class MatchSet {
+ public:
+  void add(EventIndex recv, EventIndex send);
+  void add_all(EventIndex recv, std::vector<EventIndex> sends);
+
+  /// The paper's getSends(recv). Receives absent from the set yield an empty
+  /// span (the encoder then emits `false` for that receive's disjunction).
+  [[nodiscard]] const std::vector<EventIndex>& get_sends(EventIndex recv) const;
+
+  [[nodiscard]] bool contains(EventIndex recv, EventIndex send) const;
+  [[nodiscard]] std::size_t num_receives() const { return candidates_.size(); }
+  [[nodiscard]] std::size_t total_pairs() const;
+
+  /// True when `other` (a precise set) is contained in this set per receive —
+  /// the soundness direction of an over-approximation.
+  [[nodiscard]] bool covers(const MatchSet& other) const;
+
+  [[nodiscard]] std::string summary(const trace::Trace& trace) const;
+
+ private:
+  std::unordered_map<EventIndex, std::vector<EventIndex>> candidates_;
+  static const std::vector<EventIndex> kEmpty;
+};
+
+/// One complete assignment of receives to sends, sorted by receive index.
+/// Comparable so sets of matchings from different engines can be diffed.
+using Matching = std::vector<std::pair<EventIndex, EventIndex>>;
+
+[[nodiscard]] std::string matching_to_string(const trace::Trace& trace,
+                                             const Matching& m);
+
+}  // namespace mcsym::match

@@ -1,0 +1,152 @@
+// MCAPI-style C API facade.
+//
+// The Multicore Association's MCAPI spec defines a C interface
+// (mcapi_initialize, mcapi_endpoint_create, mcapi_msg_send, mcapi_msg_recv,
+// mcapi_msg_recv_i, mcapi_wait) with out-parameter status codes. This facade
+// mirrors that shape over the modeling DSL so MCAPI application code ports
+// almost literally: each node's calls are *recorded* into the thread's
+// instruction list instead of executed, and the assembled Program then runs
+// under the simulator / checkers. Payloads are the model's int64 scalars and
+// receive buffers are named thread-locals — the abstraction level the paper
+// verifies at.
+//
+// Status discipline follows the spec: every call reports MCAPI_SUCCESS or a
+// specific MCAPI_ERR_* through the trailing status out-parameter, and
+// erroneous calls (foreign endpoints, duplicate ports, bad requests) are
+// rejected at record time rather than aborting.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "mcapi/program.hpp"
+
+namespace mcsym::mcapi::capi {
+
+using mcapi_domain_t = std::uint32_t;
+using mcapi_node_t = std::uint32_t;
+using mcapi_port_t = std::uint32_t;
+using mcapi_priority_t = std::uint32_t;
+
+enum class mcapi_status_t : std::uint8_t {
+  MCAPI_SUCCESS = 0,
+  MCAPI_ERR_NODE_NOTINIT,
+  MCAPI_ERR_NODE_INITIALIZED,
+  MCAPI_ERR_PORT_INVALID,
+  MCAPI_ERR_ENDP_INVALID,
+  MCAPI_ERR_ENDP_NOTOWNER,
+  MCAPI_ERR_ENDP_EXISTS,
+  MCAPI_ERR_REQUEST_INVALID,
+  MCAPI_ERR_PARAMETER,
+};
+
+[[nodiscard]] const char* mcapi_status_name(mcapi_status_t status);
+
+struct mcapi_endpoint_t {
+  EndpointRef ref = kNoEndpoint;
+  [[nodiscard]] bool valid() const { return ref != kNoEndpoint; }
+};
+
+struct mcapi_request_t {
+  std::uint32_t slot = 0xffffffffu;
+  [[nodiscard]] bool valid() const { return slot != 0xffffffffu; }
+};
+
+class VirtualTarget;
+
+/// One node's recorded session; obtained from mcapi_initialize.
+class NodeSession {
+ public:
+  /// mcapi_endpoint_create: makes a receive-capable endpoint on this node.
+  mcapi_endpoint_t endpoint_create(mcapi_port_t port, mcapi_status_t* status);
+
+  /// mcapi_endpoint_get: looks up another node's endpoint by address.
+  mcapi_endpoint_t endpoint_get(mcapi_domain_t domain, mcapi_node_t node,
+                                mcapi_port_t port, mcapi_status_t* status);
+
+  /// mcapi_msg_send: connectionless send of one scalar payload.
+  void msg_send(mcapi_endpoint_t from, mcapi_endpoint_t to, std::int64_t value,
+                mcapi_priority_t priority, mcapi_status_t* status);
+  /// Overload sending the current value of a local variable (+ offset).
+  void msg_send(mcapi_endpoint_t from, mcapi_endpoint_t to, std::string_view var,
+                std::int64_t plus, mcapi_priority_t priority,
+                mcapi_status_t* status);
+
+  /// mcapi_msg_recv: blocking receive into the named local "buffer".
+  void msg_recv(mcapi_endpoint_t ep, std::string_view buffer,
+                mcapi_status_t* status);
+
+  /// mcapi_msg_recv_i: non-blocking receive; completes at mcapi_wait.
+  void msg_recv_i(mcapi_endpoint_t ep, std::string_view buffer,
+                  mcapi_request_t* request, mcapi_status_t* status);
+
+  /// mcapi_wait: blocks until the request's receive has completed.
+  void wait(mcapi_request_t* request, mcapi_status_t* status);
+
+  /// mcapi_test: polls (never blocks) whether the request has completed; the
+  /// 1/0 outcome lands in the named local "flag". The request stays open —
+  /// per the spec it is only consumed by a successful wait.
+  void test(mcapi_request_t* request, std::string_view flag,
+            mcapi_status_t* status);
+
+  /// mcapi_wait_any over an array of requests: blocks until one completes
+  /// and stores its index (position in `requests`) into the named local.
+  /// All handles stay open at record time — the winner is only known when
+  /// the model runs, so the application must branch on the index and wait
+  /// the remaining requests (waiting the winner again is a model error the
+  /// simulator reports).
+  void wait_any(const std::vector<mcapi_request_t*>& requests,
+                std::string_view index_var, mcapi_status_t* status);
+
+  [[nodiscard]] mcapi_node_t node() const { return node_; }
+
+ private:
+  friend class VirtualTarget;
+  NodeSession(VirtualTarget& target, mcapi_node_t node, ThreadBuilder builder)
+      : target_(&target), node_(node), builder_(builder) {}
+
+  VirtualTarget* target_;
+  mcapi_node_t node_;
+  ThreadBuilder builder_;
+  std::uint32_t next_request_ = 0;
+  std::vector<bool> request_open_;  // slot -> issued and not yet waited
+};
+
+/// The modeled multicore target: owns the Program being recorded and the
+/// domain/node/port address space.
+class VirtualTarget {
+ public:
+  explicit VirtualTarget(mcapi_domain_t domain = 0) : domain_(domain) {}
+
+  /// mcapi_initialize for one node; returns its session. Initializing the
+  /// same node twice yields MCAPI_ERR_NODE_INITIALIZED.
+  NodeSession* initialize(mcapi_domain_t domain, mcapi_node_t node,
+                          mcapi_status_t* status);
+
+  /// mcapi_finalize for the whole target: freezes and returns the Program.
+  /// No further recording is possible afterwards.
+  [[nodiscard]] Program finalize();
+
+  [[nodiscard]] const Program& program() const { return program_; }
+
+ private:
+  friend class NodeSession;
+  [[nodiscard]] std::optional<EndpointRef> lookup(mcapi_domain_t domain,
+                                                  mcapi_node_t node,
+                                                  mcapi_port_t port) const;
+  [[nodiscard]] bool owns(mcapi_node_t node, EndpointRef ep) const;
+
+  mcapi_domain_t domain_;
+  Program program_;
+  std::deque<NodeSession> sessions_;  // deque: handed-out pointers stay valid
+  std::unordered_map<std::uint64_t, EndpointRef> endpoints_;  // (node,port)
+  std::unordered_map<std::uint32_t, ThreadRef> node_thread_;
+  bool finalized_ = false;
+};
+
+}  // namespace mcsym::mcapi::capi

@@ -1,0 +1,30 @@
+#include "mcapi/executor.hpp"
+
+namespace mcsym::mcapi {
+
+RunResult run(System& system, Scheduler& scheduler, ExecSink* sink,
+              std::size_t max_steps, std::vector<Action>* script) {
+  RunResult result;
+  std::vector<Action> enabled;
+  while (result.steps < max_steps) {
+    if (system.has_violation()) {
+      result.outcome = RunResult::Outcome::kViolation;
+      return result;
+    }
+    system.enabled(enabled);
+    if (enabled.empty()) {
+      result.outcome = system.all_halted() ? RunResult::Outcome::kHalted
+                                           : RunResult::Outcome::kDeadlock;
+      return result;
+    }
+    const std::size_t choice = scheduler.pick(system, enabled);
+    MCSYM_ASSERT(choice < enabled.size());
+    if (script != nullptr) script->push_back(enabled[choice]);
+    system.apply(enabled[choice], sink);
+    ++result.steps;
+  }
+  result.outcome = RunResult::Outcome::kStepLimit;
+  return result;
+}
+
+}  // namespace mcsym::mcapi

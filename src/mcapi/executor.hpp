@@ -1,0 +1,33 @@
+// Drives one System to completion under a Scheduler, reporting how the run
+// ended. This is the "run the application once and record a trace" front
+// half of the paper's pipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "mcapi/scheduler.hpp"
+#include "mcapi/system.hpp"
+
+namespace mcsym::mcapi {
+
+struct RunResult {
+  enum class Outcome : std::uint8_t {
+    kHalted,     // all threads ran to completion
+    kViolation,  // an assertion failed during the run
+    kDeadlock,   // no action enabled, some thread blocked
+    kStepLimit,  // safety valve tripped
+  };
+  Outcome outcome = Outcome::kHalted;
+  std::size_t steps = 0;
+
+  [[nodiscard]] bool completed() const { return outcome == Outcome::kHalted; }
+};
+
+/// Runs until halt/deadlock/violation or `max_steps`. Events stream to
+/// `sink` (may be null); actions taken are appended to `script` when given,
+/// so a run can be replayed exactly.
+RunResult run(System& system, Scheduler& scheduler, ExecSink* sink = nullptr,
+              std::size_t max_steps = 1u << 20,
+              std::vector<Action>* script = nullptr);
+
+}  // namespace mcsym::mcapi

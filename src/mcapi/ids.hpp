@@ -1,0 +1,42 @@
+// Identifier types for the MCAPI model.
+//
+// MCAPI addresses endpoints by (node, port). In this model each program
+// thread runs on its own node (the paper's t0/t1/t2 picture: one core, one
+// node, one thread), and endpoints are owned by threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace mcsym::mcapi {
+
+using NodeId = std::uint32_t;
+using PortId = std::uint32_t;
+
+/// Dense index into a Program's endpoint table.
+using EndpointRef = std::uint32_t;
+inline constexpr EndpointRef kNoEndpoint = 0xffffffffu;
+
+/// Dense index into a Program's thread table.
+using ThreadRef = std::uint32_t;
+
+/// Unique identifier of a send operation instance; doubles as the message
+/// identity in match pairs (the paper's "unique identifier per send").
+using SendUid = std::uint64_t;
+
+/// A directed (source endpoint, destination endpoint) pair. MCAPI guarantees
+/// FIFO delivery per channel; across channels the network may reorder.
+struct ChannelId {
+  EndpointRef src;
+  EndpointRef dst;
+  friend bool operator==(ChannelId, ChannelId) = default;
+};
+
+}  // namespace mcsym::mcapi
+
+template <>
+struct std::hash<mcsym::mcapi::ChannelId> {
+  std::size_t operator()(const mcsym::mcapi::ChannelId& c) const noexcept {
+    return (static_cast<std::size_t>(c.src) << 32) ^ c.dst;
+  }
+};

@@ -1,0 +1,244 @@
+#include "mcapi/program.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace mcsym::mcapi {
+
+// --- ThreadBuilder ---------------------------------------------------------
+
+ValueExpr ThreadBuilder::v(std::string_view var) const {
+  return ValueExpr::variable(program_->interner().intern(var));
+}
+
+ValueExpr ThreadBuilder::v(std::string_view var, std::int64_t plus) const {
+  return ValueExpr::var_plus(program_->interner().intern(var), plus);
+}
+
+ThreadBuilder& ThreadBuilder::send(EndpointRef src, EndpointRef dst, ValueExpr payload) {
+  Instr i;
+  i.kind = OpKind::kSend;
+  i.src = src;
+  i.dst = dst;
+  i.expr = payload;
+  program_->mutable_thread(ref_).code.push_back(i);
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::recv(EndpointRef ep, std::string_view var) {
+  Instr i;
+  i.kind = OpKind::kRecv;
+  i.dst = ep;
+  i.var = program_->interner().intern(var);
+  program_->mutable_thread(ref_).code.push_back(i);
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::recv_nb(EndpointRef ep, std::string_view var,
+                                      std::uint32_t req) {
+  Instr i;
+  i.kind = OpKind::kRecvNb;
+  i.dst = ep;
+  i.var = program_->interner().intern(var);
+  i.req = req;
+  auto& t = program_->mutable_thread(ref_);
+  t.num_requests = std::max(t.num_requests, req + 1);
+  t.code.push_back(i);
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::wait(std::uint32_t req) {
+  Instr i;
+  i.kind = OpKind::kWait;
+  i.req = req;
+  auto& t = program_->mutable_thread(ref_);
+  t.num_requests = std::max(t.num_requests, req + 1);
+  t.code.push_back(i);
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::wait_any(std::vector<std::uint32_t> reqs,
+                                       std::string_view var) {
+  MCSYM_ASSERT_MSG(!reqs.empty(), "wait_any needs at least one request");
+  Instr i;
+  i.kind = OpKind::kWaitAny;
+  i.reqs = std::move(reqs);
+  i.var = program_->interner().intern(var);
+  auto& t = program_->mutable_thread(ref_);
+  for (const std::uint32_t r : i.reqs) {
+    t.num_requests = std::max(t.num_requests, r + 1);
+  }
+  t.code.push_back(i);
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::test_poll(std::uint32_t req, std::string_view var) {
+  Instr i;
+  i.kind = OpKind::kTest;
+  i.req = req;
+  i.var = program_->interner().intern(var);
+  auto& t = program_->mutable_thread(ref_);
+  t.num_requests = std::max(t.num_requests, req + 1);
+  t.code.push_back(i);
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::assign(std::string_view var, ValueExpr expr) {
+  Instr i;
+  i.kind = OpKind::kAssign;
+  i.var = program_->interner().intern(var);
+  i.expr = expr;
+  program_->mutable_thread(ref_).code.push_back(i);
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::jump(std::string_view label) {
+  auto& t = program_->mutable_thread(ref_);
+  Instr i;
+  i.kind = OpKind::kJmp;
+  t.pending_jumps.emplace_back(static_cast<std::uint32_t>(t.code.size()),
+                               std::string(label));
+  t.code.push_back(i);
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::jump_if(Cond cond, std::string_view label) {
+  auto& t = program_->mutable_thread(ref_);
+  Instr i;
+  i.kind = OpKind::kJmpIf;
+  i.cond = cond;
+  t.pending_jumps.emplace_back(static_cast<std::uint32_t>(t.code.size()),
+                               std::string(label));
+  t.code.push_back(i);
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::assert_that(Cond cond) {
+  Instr i;
+  i.kind = OpKind::kAssert;
+  i.cond = cond;
+  program_->mutable_thread(ref_).code.push_back(i);
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::label(std::string_view name) {
+  auto& t = program_->mutable_thread(ref_);
+  const auto [it, inserted] =
+      t.labels.emplace(std::string(name), static_cast<std::uint32_t>(t.code.size()));
+  MCSYM_ASSERT_MSG(inserted, "duplicate label in thread");
+  (void)it;
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::nop() {
+  Instr i;
+  i.kind = OpKind::kNop;
+  program_->mutable_thread(ref_).code.push_back(i);
+  return *this;
+}
+
+// --- Program ----------------------------------------------------------------
+
+ThreadBuilder Program::add_thread(std::string_view name) {
+  MCSYM_ASSERT_MSG(!finalized_, "program already finalized");
+  const auto [it, inserted] =
+      thread_names_.emplace(std::string(name), static_cast<ThreadRef>(threads_.size()));
+  MCSYM_ASSERT_MSG(inserted, "duplicate thread name");
+  Thread t;
+  t.name = std::string(name);
+  threads_.push_back(std::move(t));
+  return ThreadBuilder(*this, it->second);
+}
+
+EndpointRef Program::add_endpoint(std::string_view name, ThreadRef owner) {
+  MCSYM_ASSERT_MSG(!finalized_, "program already finalized");
+  MCSYM_ASSERT_MSG(owner < threads_.size(), "endpoint owner does not exist");
+  // One MCAPI node per thread; ports count up per node.
+  PortId port = 0;
+  for (const Endpoint& e : endpoints_) {
+    if (e.owner == owner) ++port;
+  }
+  endpoints_.push_back(Endpoint{std::string(name), owner, port, owner});
+  return static_cast<EndpointRef>(endpoints_.size() - 1);
+}
+
+Program::Thread& Program::mutable_thread(ThreadRef t) {
+  MCSYM_ASSERT_MSG(!finalized_, "program already finalized");
+  MCSYM_ASSERT(t < threads_.size());
+  return threads_[t];
+}
+
+std::size_t Program::total_instructions() const {
+  std::size_t n = 0;
+  for (const Thread& t : threads_) n += t.code.size();
+  return n;
+}
+
+void Program::finalize() {
+  MCSYM_ASSERT_MSG(!finalized_, "finalize called twice");
+  for (std::size_t ti = 0; ti < threads_.size(); ++ti) {
+    Thread& t = threads_[ti];
+    // Patch labels.
+    for (const auto& [pc, label] : t.pending_jumps) {
+      const auto it = t.labels.find(label);
+      MCSYM_ASSERT_MSG(it != t.labels.end(), "jump to unknown label");
+      t.code[pc].target = it->second;
+      MCSYM_ASSERT_MSG(it->second <= t.code.size(), "jump target out of range");
+    }
+    t.pending_jumps.clear();
+
+    // Resolve local variables to dense slots (per thread).
+    std::unordered_map<std::uint32_t, LocalSlot> slot_of;  // symbol raw -> slot
+    auto resolve = [&](support::Symbol sym) -> LocalSlot {
+      MCSYM_ASSERT(sym.valid());
+      auto [it, inserted] = slot_of.emplace(sym.raw(), static_cast<LocalSlot>(slot_of.size()));
+      if (inserted) t.slot_names.push_back(interner_.spelling(sym));
+      return it->second;
+    };
+    auto resolve_expr = [&](ValueExpr& e) {
+      if (e.uses_var()) e.slot = resolve(e.var);
+    };
+    for (Instr& i : t.code) {
+      switch (i.kind) {
+        case OpKind::kSend:
+          MCSYM_ASSERT_MSG(i.src < endpoints_.size() && i.dst < endpoints_.size(),
+                           "send references unknown endpoint");
+          MCSYM_ASSERT_MSG(endpoints_[i.src].owner == ti,
+                           "send source endpoint not owned by sending thread");
+          resolve_expr(i.expr);
+          break;
+        case OpKind::kRecv:
+        case OpKind::kRecvNb:
+          MCSYM_ASSERT_MSG(i.dst < endpoints_.size(), "recv references unknown endpoint");
+          MCSYM_ASSERT_MSG(endpoints_[i.dst].owner == ti,
+                           "receive endpoint not owned by receiving thread");
+          i.var_slot = resolve(i.var);
+          break;
+        case OpKind::kWait:
+          break;
+        case OpKind::kWaitAny:
+        case OpKind::kTest:
+          i.var_slot = resolve(i.var);
+          break;
+        case OpKind::kAssign:
+          resolve_expr(i.expr);
+          i.var_slot = resolve(i.var);
+          break;
+        case OpKind::kJmp:
+          break;
+        case OpKind::kJmpIf:
+        case OpKind::kAssert:
+          resolve_expr(i.cond.lhs);
+          resolve_expr(i.cond.rhs);
+          break;
+        case OpKind::kNop:
+          break;
+      }
+    }
+    t.num_slots = static_cast<std::uint32_t>(slot_of.size());
+  }
+  finalized_ = true;
+}
+
+}  // namespace mcsym::mcapi

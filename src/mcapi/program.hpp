@@ -1,0 +1,150 @@
+// Modeled MCAPI programs.
+//
+// A Program is a set of threads (one per MCAPI node), each a list of
+// instructions over the message-passing subset the paper formalizes:
+// blocking send/receive, non-blocking receive plus wait, local assignments,
+// conditional jumps, and safety assertions. Programs are built through the
+// fluent ThreadBuilder API, then frozen by finalize(), which resolves local
+// variable names to slots, patches labels, and validates endpoint ownership.
+//
+// The same Program object serves both execution (mcapi::System interprets
+// it) and symbolic encoding (the trace refers back to instruction operands).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "mcapi/ids.hpp"
+#include "mcapi/value.hpp"
+#include "support/intern.hpp"
+
+namespace mcsym::mcapi {
+
+enum class OpKind : std::uint8_t {
+  kSend,    // issue message: src endpoint, dst endpoint, payload expr
+  kRecv,    // blocking receive on endpoint into local var
+  kRecvNb,  // non-blocking receive on endpoint into local var, request slot
+  kWait,    // block until request slot completes
+  kWaitAny,  // block until any listed request completes; local := its index
+  kTest,    // poll request slot: local := completed ? 1 : 0 (mcapi_test)
+  kAssign,  // local := expr
+  kJmp,     // unconditional jump
+  kJmpIf,   // jump when cond holds
+  kAssert,  // safety property: cond must hold
+  kNop,
+};
+
+struct Instr {
+  OpKind kind = OpKind::kNop;
+  EndpointRef src = kNoEndpoint;  // kSend
+  EndpointRef dst = kNoEndpoint;  // kSend / kRecv / kRecvNb endpoint
+  support::Symbol var;            // receive destination / assign target
+  LocalSlot var_slot = kNoSlot;
+  ValueExpr expr;                 // payload / assign source
+  Cond cond;                      // kJmpIf / kAssert
+  std::uint32_t target = 0;       // jump target pc (patched from labels)
+  std::uint32_t req = 0;          // request slot (kRecvNb / kWait / kTest)
+  std::vector<std::uint32_t> reqs;  // kWaitAny: candidate request slots
+};
+
+class Program;
+
+/// Fluent builder for one thread's instruction list. All methods return
+/// *this so programs read like straight-line pseudocode.
+class ThreadBuilder {
+ public:
+  ThreadBuilder& send(EndpointRef src, EndpointRef dst, ValueExpr payload);
+  ThreadBuilder& send(EndpointRef src, EndpointRef dst, std::int64_t payload) {
+    return send(src, dst, ValueExpr::constant(payload));
+  }
+  ThreadBuilder& recv(EndpointRef ep, std::string_view var);
+  ThreadBuilder& recv_nb(EndpointRef ep, std::string_view var, std::uint32_t req);
+  ThreadBuilder& wait(std::uint32_t req);
+  /// MCAPI's mcapi_test: polls (never blocks) whether request `req` has
+  /// completed; stores 1/0 into `var`. The outcome depends on network
+  /// timing, so it is an observable scheduling race the symbolic encoding
+  /// pins per trace.
+  ThreadBuilder& test_poll(std::uint32_t req, std::string_view var);
+  /// MCAPI's mcapi_wait_any: blocks until some listed request completes,
+  /// consumes it (its buffer local receives the message), and stores its
+  /// *position in `reqs`* into `var`. Ties are broken toward the earliest
+  /// listed request, matching a sequential scan over the request array.
+  /// Waiting again on the consumed request is a model error; branch on the
+  /// index to wait the remaining ones.
+  ThreadBuilder& wait_any(std::vector<std::uint32_t> reqs, std::string_view var);
+  ThreadBuilder& assign(std::string_view var, ValueExpr expr);
+  ThreadBuilder& jump(std::string_view label);
+  ThreadBuilder& jump_if(Cond cond, std::string_view label);
+  ThreadBuilder& assert_that(Cond cond);
+  ThreadBuilder& label(std::string_view name);
+  ThreadBuilder& nop();
+
+  /// Expression helpers bound to this program's interner.
+  [[nodiscard]] ValueExpr v(std::string_view var) const;
+  [[nodiscard]] ValueExpr v(std::string_view var, std::int64_t plus) const;
+  static ValueExpr c(std::int64_t k) { return ValueExpr::constant(k); }
+
+  [[nodiscard]] ThreadRef ref() const { return ref_; }
+
+ private:
+  friend class Program;
+  ThreadBuilder(Program& program, ThreadRef ref) : program_(&program), ref_(ref) {}
+  Program* program_;
+  ThreadRef ref_;
+};
+
+class Program {
+ public:
+  struct Endpoint {
+    std::string name;
+    NodeId node;
+    PortId port;
+    ThreadRef owner;
+  };
+
+  struct Thread {
+    std::string name;
+    std::vector<Instr> code;
+    std::uint32_t num_slots = 0;      // locals, resolved by finalize
+    std::uint32_t num_requests = 0;   // request slots in use
+    std::vector<std::string> slot_names;  // slot -> spelling (diagnostics)
+    std::unordered_map<std::string, std::uint32_t> labels;
+    std::vector<std::pair<std::uint32_t, std::string>> pending_jumps;
+  };
+
+  /// Adds a thread; names must be unique.
+  ThreadBuilder add_thread(std::string_view name);
+
+  /// Adds an endpoint owned by `owner`; port auto-assigned per node.
+  EndpointRef add_endpoint(std::string_view name, ThreadRef owner);
+
+  /// Freezes the program: resolves labels and local slots, validates
+  /// ownership and jump targets. Must be called before execution/encoding.
+  void finalize();
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  [[nodiscard]] std::size_t num_threads() const { return threads_.size(); }
+  [[nodiscard]] std::size_t num_endpoints() const { return endpoints_.size(); }
+  [[nodiscard]] const Thread& thread(ThreadRef t) const { return threads_[t]; }
+  [[nodiscard]] const Endpoint& endpoint(EndpointRef e) const { return endpoints_[e]; }
+  [[nodiscard]] support::Interner& interner() { return interner_; }
+  [[nodiscard]] const support::Interner& interner() const { return interner_; }
+
+  /// Total instruction count across threads (diagnostics / bench labels).
+  [[nodiscard]] std::size_t total_instructions() const;
+
+ private:
+  friend class ThreadBuilder;
+  Thread& mutable_thread(ThreadRef t);
+
+  std::vector<Thread> threads_;
+  std::vector<Endpoint> endpoints_;
+  std::unordered_map<std::string, ThreadRef> thread_names_;
+  support::Interner interner_;
+  bool finalized_ = false;
+};
+
+}  // namespace mcsym::mcapi

@@ -1,0 +1,457 @@
+#include "mcapi/system.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace mcsym::mcapi {
+
+std::string Action::str(const Program& p) const {
+  if (kind == Kind::kThreadStep) {
+    return "step(" + p.thread(thread).name + ")";
+  }
+  return "deliver(" + p.endpoint(channel.src).name + "->" +
+         p.endpoint(channel.dst).name + ")";
+}
+
+System::System(const Program& program, DeliveryMode mode)
+    : program_(&program), mode_(mode) {
+  MCSYM_ASSERT_MSG(program.finalized(), "finalize the program before running it");
+  threads_.resize(program.num_threads());
+  endpoints_.resize(program.num_endpoints());
+  for (std::size_t t = 0; t < threads_.size(); ++t) {
+    const Program::Thread& pt = program.thread(static_cast<ThreadRef>(t));
+    threads_[t].locals.assign(pt.num_slots, 0);
+    threads_[t].requests.resize(pt.num_requests);
+    threads_[t].halted = pt.code.empty();
+  }
+}
+
+bool System::thread_can_step(ThreadRef t) const {
+  const ThreadState& ts = threads_[t];
+  if (ts.halted || violation_.has_value()) return false;
+  const Instr& i = program_->thread(t).code[ts.pc];
+  switch (i.kind) {
+    case OpKind::kRecv:
+      return !endpoints_[i.dst].queue.empty();
+    case OpKind::kWait:
+      return ts.requests[i.req].state == ReqState::kBound;
+    case OpKind::kWaitAny:
+      for (const std::uint32_t r : i.reqs) {
+        if (ts.requests[r].state == ReqState::kBound) return true;
+      }
+      return false;
+    default:
+      return true;
+  }
+}
+
+SendUid System::oldest_in_transit_uid() const {
+  SendUid best = 0;
+  for (const auto& [channel, queue] : transit_) {
+    if (!queue.empty() && (best == 0 || queue.front().uid < best)) {
+      best = queue.front().uid;
+    }
+  }
+  return best;
+}
+
+void System::enabled(std::vector<Action>& out) const {
+  out.clear();
+  if (violation_.has_value()) return;  // violations are terminal
+  for (ThreadRef t = 0; t < threads_.size(); ++t) {
+    if (thread_can_step(t)) {
+      out.push_back(Action{Action::Kind::kThreadStep, t, {}});
+    }
+  }
+  const SendUid oldest =
+      mode_ == DeliveryMode::kGlobalFifo ? oldest_in_transit_uid() : 0;
+  for (const auto& [channel, queue] : transit_) {
+    if (queue.empty()) continue;
+    if (mode_ == DeliveryMode::kGlobalFifo && queue.front().uid != oldest) {
+      continue;  // MCC world: only the globally oldest message may arrive
+    }
+    Action a;
+    a.kind = Action::Kind::kDeliver;
+    a.channel = channel;
+    out.push_back(a);
+  }
+}
+
+bool System::all_halted() const {
+  return std::all_of(threads_.begin(), threads_.end(),
+                     [](const ThreadState& t) { return t.halted; });
+}
+
+bool System::deadlocked() const {
+  if (violation_.has_value() || all_halted()) return false;
+  std::vector<Action> acts;
+  enabled(acts);
+  return acts.empty();
+}
+
+void System::apply(const Action& action, ExecSink* sink) {
+  if (action.kind == Action::Kind::kThreadStep) {
+    step_thread(action.thread, sink);
+  } else {
+    deliver(action.channel);
+  }
+}
+
+void System::bind_request(ThreadRef t, std::uint32_t slot, const Message& m) {
+  Request& r = threads_[t].requests[slot];
+  MCSYM_ASSERT(r.state == ReqState::kPending);
+  r.state = ReqState::kBound;
+  r.value = m.value;
+  r.uid = m.uid;
+  r.send_thread = m.sender;
+  r.send_op_index = m.send_op;
+}
+
+void System::deliver(ChannelId channel) {
+  auto it = std::find_if(transit_.begin(), transit_.end(),
+                         [&](const auto& e) { return e.first == channel; });
+  MCSYM_ASSERT_MSG(it != transit_.end() && !it->second.empty(),
+                   "deliver on empty channel");
+  const Message m = it->second.front();
+  it->second.pop_front();
+  EndpointState& ep = endpoints_[m.dst];
+  if (!ep.pending.empty()) {
+    // Receives complete in issue order: the oldest unbound recv_i wins.
+    const auto [t, slot] = ep.pending.front();
+    ep.pending.pop_front();
+    bind_request(t, slot, m);
+  } else {
+    ep.queue.push_back(m);
+  }
+}
+
+void System::step_thread(ThreadRef t, ExecSink* sink) {
+  ThreadState& ts = threads_[t];
+  const Program::Thread& pt = program_->thread(t);
+  MCSYM_ASSERT(!ts.halted && ts.pc < pt.code.size());
+  const Instr& i = pt.code[ts.pc];
+
+  ExecEvent ev;
+  ev.thread = t;
+  ev.op_index = ts.op_count;
+  bool emit = true;
+  std::uint32_t next_pc = ts.pc + 1;
+
+  switch (i.kind) {
+    case OpKind::kSend: {
+      const std::int64_t value = i.expr.eval(ts.locals.data());
+      const Message m{next_uid_++, i.src, i.dst, value, t, ts.op_count};
+      const ChannelId channel{i.src, i.dst};
+      auto it = std::find_if(transit_.begin(), transit_.end(),
+                             [&](const auto& e) { return e.first == channel; });
+      if (it == transit_.end()) {
+        transit_.emplace_back(channel, std::deque<Message>{});
+        it = std::prev(transit_.end());
+      }
+      it->second.push_back(m);
+      ev.kind = ExecEvent::Kind::kSend;
+      ev.src = i.src;
+      ev.dst = i.dst;
+      ev.expr = i.expr;
+      ev.uid = m.uid;
+      ev.value = value;
+      break;
+    }
+    case OpKind::kRecv: {
+      EndpointState& ep = endpoints_[i.dst];
+      MCSYM_ASSERT_MSG(!ep.queue.empty(), "blocking recv stepped while empty");
+      const Message m = ep.queue.front();
+      ep.queue.pop_front();
+      ts.locals[i.var_slot] = m.value;
+      matches_.push_back(MatchRecord{t, ts.op_count, m.sender, m.send_op});
+      ev.kind = ExecEvent::Kind::kRecv;
+      ev.dst = i.dst;
+      ev.var = i.var;
+      ev.var_slot = i.var_slot;
+      ev.uid = m.uid;
+      ev.value = m.value;
+      break;
+    }
+    case OpKind::kRecvNb: {
+      Request& r = ts.requests[i.req];
+      MCSYM_ASSERT_MSG(r.state == ReqState::kUnused || r.state == ReqState::kConsumed,
+                       "request slot reused while in flight");
+      r = Request{};
+      r.var = i.var;
+      r.var_slot = i.var_slot;
+      r.ep = i.dst;
+      r.issue_op_index = ts.op_count;
+      EndpointState& ep = endpoints_[i.dst];
+      if (!ep.queue.empty()) {
+        const Message m = ep.queue.front();
+        ep.queue.pop_front();
+        r.state = ReqState::kBound;
+        r.value = m.value;
+        r.uid = m.uid;
+        r.send_thread = m.sender;
+        r.send_op_index = m.send_op;
+      } else {
+        r.state = ReqState::kPending;
+        ep.pending.emplace_back(t, i.req);
+      }
+      ev.kind = ExecEvent::Kind::kRecvIssue;
+      ev.dst = i.dst;
+      ev.var = i.var;
+      ev.var_slot = i.var_slot;
+      ev.req = i.req;
+      break;
+    }
+    case OpKind::kWait: {
+      Request& r = ts.requests[i.req];
+      MCSYM_ASSERT_MSG(r.state == ReqState::kBound, "wait stepped while pending");
+      ts.locals[r.var_slot] = r.value;
+      r.state = ReqState::kConsumed;
+      matches_.push_back(
+          MatchRecord{t, r.issue_op_index, r.send_thread, r.send_op_index});
+      ev.kind = ExecEvent::Kind::kWait;
+      ev.dst = r.ep;
+      ev.var = r.var;
+      ev.var_slot = r.var_slot;
+      ev.req = i.req;
+      ev.issue_op_index = r.issue_op_index;
+      ev.uid = r.uid;
+      ev.value = r.value;
+      break;
+    }
+    case OpKind::kWaitAny: {
+      // Scan the request array in order, take the first bound one — the tie
+      // break a sequential mcapi_wait_any implementation exhibits. Earlier
+      // entries are observed still pending; their issue ops are recorded so
+      // the trace analysis can pin them.
+      std::uint32_t winner = 0xffffffffu;
+      std::uint32_t winner_pos = 0;
+      for (std::uint32_t pos = 0; pos < i.reqs.size(); ++pos) {
+        const Request& r = ts.requests[i.reqs[pos]];
+        MCSYM_ASSERT_MSG(r.state == ReqState::kPending || r.state == ReqState::kBound,
+                         "wait_any on an unissued or already-consumed request");
+        if (r.state == ReqState::kBound) {
+          winner = i.reqs[pos];
+          winner_pos = pos;
+          break;
+        }
+        ev.loser_issue_ops.push_back(r.issue_op_index);
+      }
+      MCSYM_ASSERT_MSG(winner != 0xffffffffu, "wait_any stepped while all pending");
+      Request& w = ts.requests[winner];
+      ts.locals[w.var_slot] = w.value;
+      ts.locals[i.var_slot] = winner_pos;
+      w.state = ReqState::kConsumed;
+      matches_.push_back(
+          MatchRecord{t, w.issue_op_index, w.send_thread, w.send_op_index});
+      // The winner index is control-relevant, exactly like a poll outcome:
+      // one "not this one" record per skipped entry plus the winner's "yes",
+      // so executions with different winners have different record sets.
+      for (std::uint32_t pos = 0; pos < winner_pos; ++pos) {
+        branches_.push_back(BranchRecord{t, ts.op_count, false});
+      }
+      branches_.push_back(BranchRecord{t, ts.op_count, true});
+      ev.kind = ExecEvent::Kind::kWaitAny;
+      ev.dst = w.ep;
+      ev.var = i.var;
+      ev.var_slot = i.var_slot;
+      ev.req = winner;
+      ev.issue_op_index = w.issue_op_index;
+      ev.uid = w.uid;
+      ev.value = w.value;
+      ev.winner_index = winner_pos;
+      break;
+    }
+    case OpKind::kTest: {
+      Request& r = ts.requests[i.req];
+      MCSYM_ASSERT_MSG(r.state != ReqState::kUnused,
+                       "test on a request that was never issued");
+      const bool done =
+          r.state == ReqState::kBound || r.state == ReqState::kConsumed;
+      ts.locals[i.var_slot] = done ? 1 : 0;
+      // Control-relevant outcome, like a branch: recorded so trace-filtered
+      // enumerations only keep executions polling the same way.
+      branches_.push_back(BranchRecord{t, ts.op_count, done});
+      ev.kind = ExecEvent::Kind::kTest;
+      ev.var = i.var;
+      ev.var_slot = i.var_slot;
+      ev.req = i.req;
+      ev.issue_op_index = r.issue_op_index;
+      ev.dst = r.ep;
+      ev.outcome = done;
+      ev.value = done ? 1 : 0;
+      break;
+    }
+    case OpKind::kAssign: {
+      const std::int64_t value = i.expr.eval(ts.locals.data());
+      ts.locals[i.var_slot] = value;
+      ev.kind = ExecEvent::Kind::kAssign;
+      ev.var = i.var;
+      ev.var_slot = i.var_slot;
+      ev.expr = i.expr;
+      ev.value = value;
+      break;
+    }
+    case OpKind::kJmp:
+      next_pc = i.target;
+      emit = false;
+      break;
+    case OpKind::kJmpIf: {
+      const bool taken = i.cond.eval(ts.locals.data());
+      branches_.push_back(BranchRecord{t, ts.op_count, taken});
+      if (taken) next_pc = i.target;
+      ev.kind = ExecEvent::Kind::kBranch;
+      ev.cond = i.cond;
+      ev.outcome = taken;
+      break;
+    }
+    case OpKind::kAssert: {
+      const bool held = i.cond.eval(ts.locals.data());
+      if (!held) violation_ = Violation{t, ts.op_count, i.cond};
+      ev.kind = ExecEvent::Kind::kAssert;
+      ev.cond = i.cond;
+      ev.outcome = held;
+      break;
+    }
+    case OpKind::kNop:
+      emit = false;
+      break;
+  }
+
+  ++ts.op_count;
+  ts.pc = next_pc;
+  if (ts.pc >= pt.code.size()) ts.halted = true;
+  if (emit && sink != nullptr) sink->on_event(ev);
+}
+
+std::uint64_t System::fingerprint() const {
+  // FNV-1a over a canonical serialization of the semantic state.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const ThreadState& ts : threads_) {
+    mix(ts.pc);
+    mix(ts.halted ? 1 : 0);
+    for (const std::int64_t v : ts.locals) mix(static_cast<std::uint64_t>(v));
+    for (const Request& r : ts.requests) {
+      mix(static_cast<std::uint64_t>(r.state));
+      mix(static_cast<std::uint64_t>(r.value));
+    }
+  }
+  for (const EndpointState& ep : endpoints_) {
+    mix(0x9e3779b97f4a7c15ULL);
+    for (const Message& m : ep.queue) {
+      mix(static_cast<std::uint64_t>(m.value));
+      mix(m.src);
+    }
+    for (const auto& [t, slot] : ep.pending) {
+      mix(t);
+      mix(slot);
+    }
+  }
+  // Channel order in transit_ is insertion-dependent; hash order-insensitively
+  // by combining per-channel hashes with XOR.
+  std::uint64_t channels = 0;
+  for (const auto& [channel, queue] : transit_) {
+    std::uint64_t ch = 0xcbf29ce484222325ULL;
+    auto mix_ch = [&ch](std::uint64_t v) {
+      for (int byte = 0; byte < 8; ++byte) {
+        ch ^= (v >> (byte * 8)) & 0xffu;
+        ch *= 0x100000001b3ULL;
+      }
+    };
+    if (queue.empty()) continue;
+    mix_ch(channel.src);
+    mix_ch(channel.dst);
+    for (const Message& m : queue) mix_ch(static_cast<std::uint64_t>(m.value));
+    channels ^= ch;
+  }
+  mix(channels);
+  mix(violation_.has_value() ? 1 : 0);
+  return h;
+}
+
+support::Hash128 System::history_fingerprint() const {
+  support::StateHasher hasher;
+  for (const ThreadState& ts : threads_) {
+    hasher.mix(ts.pc);
+    hasher.mix(ts.halted ? 1 : 0);
+    for (const std::int64_t v : ts.locals) hasher.mix_signed(v);
+    for (const Request& r : ts.requests) {
+      hasher.mix(static_cast<std::uint64_t>(r.state));
+      hasher.mix_signed(r.value);
+      // Static send identity, not the per-run uid: bound requests with the
+      // same future but different histories must not collide.
+      if (r.state == ReqState::kBound || r.state == ReqState::kConsumed) {
+        hasher.mix(r.send_thread);
+        hasher.mix(r.send_op_index);
+      }
+    }
+  }
+
+  // In-transit uid ranks matter only when delivery order is globally fixed.
+  std::vector<SendUid> uids;
+  if (mode_ == DeliveryMode::kGlobalFifo) {
+    for (const auto& [channel, queue] : transit_) {
+      for (const Message& m : queue) uids.push_back(m.uid);
+    }
+    std::sort(uids.begin(), uids.end());
+  }
+  auto uid_rank = [&uids](SendUid uid) -> std::uint64_t {
+    const auto it = std::lower_bound(uids.begin(), uids.end(), uid);
+    return static_cast<std::uint64_t>(it - uids.begin());
+  };
+
+  for (const EndpointState& ep : endpoints_) {
+    hasher.mix(0x9e3779b97f4a7c15ULL);
+    for (const Message& m : ep.queue) {
+      hasher.mix_signed(m.value);
+      hasher.mix(m.sender);
+      hasher.mix(m.send_op);
+    }
+    for (const auto& [t, slot] : ep.pending) {
+      hasher.mix(t);
+      hasher.mix(slot);
+    }
+  }
+
+  for (const auto& [channel, queue] : transit_) {
+    if (queue.empty()) continue;
+    support::StateHasher ch;
+    ch.mix(channel.src);
+    ch.mix(channel.dst);
+    for (const Message& m : queue) {
+      ch.mix_signed(m.value);
+      ch.mix(m.sender);
+      ch.mix(m.send_op);
+      if (mode_ == DeliveryMode::kGlobalFifo) ch.mix(uid_rank(m.uid));
+    }
+    hasher.mix_unordered(ch.digest());
+  }
+
+  std::vector<MatchRecord> matches = matches_;
+  std::sort(matches.begin(), matches.end());
+  hasher.mix(0x5bd1e995u);
+  for (const MatchRecord& m : matches) {
+    hasher.mix(m.thread);
+    hasher.mix(m.recv_op_index);
+    hasher.mix(m.send_thread);
+    hasher.mix(m.send_op_index);
+  }
+  std::vector<BranchRecord> branches = branches_;
+  std::sort(branches.begin(), branches.end());
+  hasher.mix(0xc2b2ae35u);
+  for (const BranchRecord& b : branches) {
+    hasher.mix(b.thread);
+    hasher.mix(b.op_index);
+    hasher.mix(b.taken ? 1 : 0);
+  }
+  hasher.mix(violation_.has_value() ? 1 : 0);
+  return hasher.digest();
+}
+
+}  // namespace mcsym::mcapi

@@ -1,0 +1,250 @@
+// Executable small-step semantics of the MCAPI subset.
+//
+// A System is a state of one Program run: thread program counters and
+// locals, per-endpoint delivered-message queues, per-channel in-transit
+// queues (the simulated network), and non-blocking request slots. It exposes
+// the enabled-actions / apply-action interface of a labeled transition
+// system, so every consumer — random trace generation, schedule replay, and
+// the exhaustive explicit-state checker — shares one implementation of the
+// semantics.
+//
+// Nondeterminism is exactly two-dimensional, matching the paper:
+//   1. which runnable thread steps next (the OS scheduler), and
+//   2. which channel's oldest in-transit message is delivered next (network
+//      delay). Per-channel FIFO is built in: only the head of a channel
+//      queue is deliverable, so same-source messages never overtake each
+//      other, while messages from different sources to a common endpoint
+//      commute freely. DeliveryMode::kGlobalFifo removes dimension 2
+//      (delivery order = global send order): that is the MCC baseline's
+//      world, the behavior gap this paper exposes.
+//
+// Non-blocking receives: recv_i binds to the oldest available message
+// greedily (receives on an endpoint complete in issue order); the received
+// value becomes visible in the destination local at the associated wait,
+// which is also where the paper's match semantics anchors the happens-before
+// obligation of the matching send.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mcapi/ids.hpp"
+#include "mcapi/program.hpp"
+#include "mcapi/value.hpp"
+#include "support/hash.hpp"
+
+namespace mcsym::mcapi {
+
+struct Message {
+  SendUid uid;  // per-run issue ordinal: NOT stable across interleavings
+  EndpointRef src;
+  EndpointRef dst;
+  std::int64_t value;
+  // Static identity of the send operation (stable across runs that follow
+  // the same control flow) — what cross-run matching comparisons must use.
+  ThreadRef sender;
+  std::uint32_t send_op;
+};
+
+enum class DeliveryMode : std::uint8_t {
+  kArbitraryDelay,  // paper semantics: channels commute
+  kGlobalFifo,      // MCC-style baseline: network delivers in send order
+};
+
+/// One observable step of the program under test, as recorded in traces.
+struct ExecEvent {
+  enum class Kind : std::uint8_t {
+    kSend,
+    kRecv,       // blocking receive completed
+    kRecvIssue,  // non-blocking receive issued
+    kWait,       // wait completed (non-blocking receive finished)
+    kWaitAny,    // wait-any completed: one listed request consumed
+    kTest,       // completion poll on a request (mcapi_test); never blocks
+    kAssign,
+    kBranch,
+    kAssert,
+  };
+
+  Kind kind;
+  ThreadRef thread;
+  std::uint32_t op_index;  // dynamic per-thread ordinal of this event
+
+  // kSend
+  EndpointRef src = kNoEndpoint;
+  EndpointRef dst = kNoEndpoint;  // also the receive endpoint for kRecv*
+  ValueExpr expr;                 // payload / assign source
+  SendUid uid = 0;                // send uid / matched uid for kRecv, kWait
+  std::int64_t value = 0;         // concrete payload / received / assigned
+
+  // kRecv / kRecvIssue / kWait / kAssign
+  support::Symbol var;
+  LocalSlot var_slot = kNoSlot;
+  std::uint32_t req = 0;             // request slot (kRecvIssue / kWait); the
+                                     // *winning* slot for kWaitAny
+  std::uint32_t issue_op_index = 0;  // kWait/kWaitAny: op_index of the winner's
+                                     // kRecvIssue; kTest: the polled issue
+  // kWaitAny only: issue op_index of every request listed *before* the
+  // winner — the ones observed still pending (the encoder pins their binds
+  // after this event's clock). Also the winner's index into the request
+  // array, which is what mcapi_wait_any returns (stored into `var`).
+  std::vector<std::uint32_t> loser_issue_ops;
+  std::uint32_t winner_index = 0;
+
+  // kBranch / kAssert
+  Cond cond;
+  bool outcome = false;  // branch taken / assertion held
+};
+
+class ExecSink {
+ public:
+  virtual ~ExecSink() = default;
+  virtual void on_event(const ExecEvent& event) = 0;
+};
+
+struct Action {
+  enum class Kind : std::uint8_t { kThreadStep, kDeliver };
+  Kind kind;
+  ThreadRef thread = 0;       // kThreadStep
+  ChannelId channel{0, 0};    // kDeliver
+
+  [[nodiscard]] std::string str(const Program& p) const;
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+/// Which receive (identified by thread + dynamic ordinal of the receive
+/// operation) consumed which send (identified statically by sender thread +
+/// ordinal, since per-run uids differ across interleavings). The explicit
+/// checker aggregates these per terminal state; the symbolic checker
+/// produces the same shape from models.
+struct MatchRecord {
+  ThreadRef thread;
+  std::uint32_t recv_op_index;
+  ThreadRef send_thread;
+  std::uint32_t send_op_index;
+  friend bool operator==(const MatchRecord&, const MatchRecord&) = default;
+  friend auto operator<=>(const MatchRecord&, const MatchRecord&) = default;
+};
+
+struct BranchRecord {
+  ThreadRef thread;
+  std::uint32_t op_index;
+  bool taken;
+  friend bool operator==(const BranchRecord&, const BranchRecord&) = default;
+  friend auto operator<=>(const BranchRecord&, const BranchRecord&) = default;
+};
+
+struct Violation {
+  ThreadRef thread;
+  std::uint32_t op_index;
+  Cond cond;
+};
+
+class System {
+ public:
+  /// Borrows the program: the caller keeps it alive for the system's
+  /// lifetime (the rvalue overload is deleted to catch temporaries).
+  explicit System(const Program& program,
+                  DeliveryMode mode = DeliveryMode::kArbitraryDelay);
+  explicit System(Program&&, DeliveryMode = DeliveryMode::kArbitraryDelay) = delete;
+
+  // Copyable: the explicit checker forks states during DFS.
+  System(const System&) = default;
+  System& operator=(const System&) = default;
+
+  /// Appends all currently enabled actions to `out` (cleared first).
+  void enabled(std::vector<Action>& out) const;
+
+  /// Applies one enabled action; events are reported to `sink` (may be null).
+  void apply(const Action& action, ExecSink* sink = nullptr);
+
+  [[nodiscard]] bool all_halted() const;
+  /// True when nothing is enabled but some thread has not halted (a real
+  /// MCAPI hang: receive with no matching send in any future).
+  [[nodiscard]] bool deadlocked() const;
+  [[nodiscard]] bool has_violation() const { return violation_.has_value(); }
+  [[nodiscard]] const std::optional<Violation>& violation() const { return violation_; }
+
+  [[nodiscard]] const std::vector<MatchRecord>& matches() const { return matches_; }
+  [[nodiscard]] const std::vector<BranchRecord>& branches() const { return branches_; }
+
+  /// Hash of the semantic state (pcs, locals, queues, requests) — match and
+  /// branch history excluded, so it suits safety-reachability pruning.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// 128-bit hash of the semantic state *plus* the accumulated match and
+  /// branch history (both order-canonicalized). Two states with equal
+  /// history fingerprints have identical futures and identical records, so
+  /// matching-enumeration DFS may prune on it. Under kGlobalFifo the
+  /// relative issue ranks of in-transit messages are included (they steer
+  /// the deterministic delivery order).
+  [[nodiscard]] support::Hash128 history_fingerprint() const;
+
+  [[nodiscard]] const Program& program() const { return *program_; }
+  [[nodiscard]] std::int64_t local(ThreadRef t, LocalSlot slot) const {
+    return threads_[t].locals[slot];
+  }
+  /// Dynamic instruction count executed by thread `t` so far.
+  [[nodiscard]] std::uint32_t op_count(ThreadRef t) const {
+    return threads_[t].op_count;
+  }
+  [[nodiscard]] bool thread_halted(ThreadRef t) const { return threads_[t].halted; }
+
+  /// Kind of the instruction thread `t` would execute next (nullopt when
+  /// halted). Lets partial-order reduction classify actions without
+  /// executing them.
+  [[nodiscard]] std::optional<OpKind> next_op_kind(ThreadRef t) const {
+    if (threads_[t].halted) return std::nullopt;
+    return program_->thread(t).code[threads_[t].pc].kind;
+  }
+
+ private:
+  enum class ReqState : std::uint8_t { kUnused, kPending, kBound, kConsumed };
+
+  struct Request {
+    ReqState state = ReqState::kUnused;
+    std::int64_t value = 0;
+    SendUid uid = 0;
+    ThreadRef send_thread = 0;
+    std::uint32_t send_op_index = 0;
+    support::Symbol var;
+    LocalSlot var_slot = kNoSlot;
+    EndpointRef ep = kNoEndpoint;
+    std::uint32_t issue_op_index = 0;
+  };
+
+  struct ThreadState {
+    std::uint32_t pc = 0;
+    std::uint32_t op_count = 0;
+    bool halted = false;
+    std::vector<std::int64_t> locals;
+    std::vector<Request> requests;
+  };
+
+  struct EndpointState {
+    std::deque<Message> queue;  // delivered, not yet received
+    std::deque<std::pair<ThreadRef, std::uint32_t>> pending;  // unbound recv_i
+  };
+
+  void step_thread(ThreadRef t, ExecSink* sink);
+  void deliver(ChannelId channel);
+  void bind_request(ThreadRef t, std::uint32_t slot, const Message& m);
+  [[nodiscard]] bool thread_can_step(ThreadRef t) const;
+  [[nodiscard]] SendUid oldest_in_transit_uid() const;
+
+  const Program* program_;
+  DeliveryMode mode_;
+  std::vector<ThreadState> threads_;
+  std::vector<EndpointState> endpoints_;
+  // Channel queues in deterministic order: keyed vector (src, dst) -> deque.
+  std::vector<std::pair<ChannelId, std::deque<Message>>> transit_;
+  SendUid next_uid_ = 1;
+  std::optional<Violation> violation_;
+  std::vector<MatchRecord> matches_;
+  std::vector<BranchRecord> branches_;
+};
+
+}  // namespace mcsym::mcapi

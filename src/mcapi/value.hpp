@@ -1,0 +1,111 @@
+// Value expressions and conditions of the modeled programs.
+//
+// The expression language is deliberately the difference-logic fragment the
+// symbolic encoder supports exactly: a local variable, an integer constant,
+// or variable + constant. Conditions compare two such expressions. This is
+// rich enough for the paper's workloads (received values steer branches and
+// assertions) while keeping PEvents inside QF_IDL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/assert.hpp"
+#include "support/intern.hpp"
+
+namespace mcsym::mcapi {
+
+/// Per-thread local variable slot, resolved from a name by Program::finalize.
+using LocalSlot = std::uint32_t;
+inline constexpr LocalSlot kNoSlot = 0xffffffffu;
+
+struct ValueExpr {
+  enum class Kind : std::uint8_t { kConst, kVar, kVarPlus };
+
+  Kind kind = Kind::kConst;
+  support::Symbol var;       // kVar / kVarPlus
+  LocalSlot slot = kNoSlot;  // filled in by Program::finalize
+  std::int64_t k = 0;        // kConst value / kVarPlus offset
+
+  static ValueExpr constant(std::int64_t v) {
+    ValueExpr e;
+    e.kind = Kind::kConst;
+    e.k = v;
+    return e;
+  }
+  static ValueExpr variable(support::Symbol s) {
+    ValueExpr e;
+    e.kind = Kind::kVar;
+    e.var = s;
+    return e;
+  }
+  static ValueExpr var_plus(support::Symbol s, std::int64_t offset) {
+    ValueExpr e;
+    e.kind = Kind::kVarPlus;
+    e.var = s;
+    e.k = offset;
+    return e;
+  }
+
+  [[nodiscard]] bool uses_var() const { return kind != Kind::kConst; }
+
+  /// Concrete evaluation against a thread's local store.
+  [[nodiscard]] std::int64_t eval(const std::int64_t* locals) const {
+    switch (kind) {
+      case Kind::kConst: return k;
+      case Kind::kVar: return locals[slot];
+      case Kind::kVarPlus: return locals[slot] + k;
+    }
+    MCSYM_UNREACHABLE("bad ValueExpr kind");
+  }
+};
+
+enum class Rel : std::uint8_t { kLt, kLe, kEq, kNe, kGe, kGt };
+
+[[nodiscard]] constexpr Rel negate(Rel r) {
+  switch (r) {
+    case Rel::kLt: return Rel::kGe;
+    case Rel::kLe: return Rel::kGt;
+    case Rel::kEq: return Rel::kNe;
+    case Rel::kNe: return Rel::kEq;
+    case Rel::kGe: return Rel::kLt;
+    case Rel::kGt: return Rel::kLe;
+  }
+  return Rel::kEq;
+}
+
+[[nodiscard]] constexpr bool holds(Rel r, std::int64_t a, std::int64_t b) {
+  switch (r) {
+    case Rel::kLt: return a < b;
+    case Rel::kLe: return a <= b;
+    case Rel::kEq: return a == b;
+    case Rel::kNe: return a != b;
+    case Rel::kGe: return a >= b;
+    case Rel::kGt: return a > b;
+  }
+  return false;
+}
+
+[[nodiscard]] constexpr const char* rel_name(Rel r) {
+  switch (r) {
+    case Rel::kLt: return "<";
+    case Rel::kLe: return "<=";
+    case Rel::kEq: return "==";
+    case Rel::kNe: return "!=";
+    case Rel::kGe: return ">=";
+    case Rel::kGt: return ">";
+  }
+  return "?";
+}
+
+struct Cond {
+  ValueExpr lhs;
+  Rel rel = Rel::kEq;
+  ValueExpr rhs;
+
+  [[nodiscard]] bool eval(const std::int64_t* locals) const {
+    return holds(rel, lhs.eval(locals), rhs.eval(locals));
+  }
+};
+
+}  // namespace mcsym::mcapi

@@ -1,0 +1,141 @@
+// Clause storage for the CDCL core.
+//
+// Clauses live in one contiguous 32-bit arena (MiniSat's RegionAllocator
+// idea): a clause reference is an offset into the arena, the clause header
+// packs size/learnt/LBD, and the literals follow inline. This keeps the
+// propagation loop cache-friendly and lets the solver garbage-collect the
+// learnt-clause database by copying live clauses into a fresh arena.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "smt/types.hpp"
+#include "support/assert.hpp"
+
+namespace mcsym::smt {
+
+/// Offset of a clause within the arena. kNoClause is the null reference.
+using ClauseRef = std::uint32_t;
+inline constexpr ClauseRef kNoClause = 0xffffffffu;
+
+/// View of a clause stored in the arena. Invalidated by arena GC.
+class Clause {
+ public:
+  [[nodiscard]] std::uint32_t size() const { return header_ >> 3; }
+  [[nodiscard]] bool learnt() const { return (header_ & 1u) != 0; }
+  /// "Deleted" marker used during GC sweeps.
+  [[nodiscard]] bool dead() const { return (header_ & 2u) != 0; }
+  void mark_dead() { header_ |= 2u; }
+
+  [[nodiscard]] Lit operator[](std::uint32_t i) const {
+    MCSYM_ASSERT(i < size());
+    return Lit::from_code(lits_[i]);
+  }
+  void set(std::uint32_t i, Lit l) {
+    MCSYM_ASSERT(i < size());
+    lits_[i] = l.code();
+  }
+  void swap_lits(std::uint32_t i, std::uint32_t j) {
+    const std::uint32_t t = lits_[i];
+    lits_[i] = lits_[j];
+    lits_[j] = t;
+  }
+
+  /// Shrinks the clause in place (used by conflict-clause minimization).
+  void shrink(std::uint32_t new_size) {
+    MCSYM_ASSERT(new_size <= size() && new_size >= 1);
+    header_ = (new_size << 3) | (header_ & 7u);
+  }
+
+  [[nodiscard]] std::uint32_t lbd() const { return lbd_; }
+  void set_lbd(std::uint32_t lbd) { lbd_ = lbd; }
+
+  [[nodiscard]] float activity() const { return activity_; }
+  void set_activity(float a) { activity_ = a; }
+  void bump_activity(float inc) { activity_ += inc; }
+
+ private:
+  friend class ClauseArena;
+  // Layout: header word, lbd word, activity word, then `size` literal codes.
+  std::uint32_t header_;    // size << 3 | dead << 1 | learnt
+  std::uint32_t lbd_;
+  float activity_;
+  std::uint32_t lits_[1];   // flexible array; arena guarantees the room
+};
+
+/// Bump allocator for clauses with copying garbage collection.
+class ClauseArena {
+ public:
+  /// Allocates a clause holding `lits`; returns its reference.
+  ClauseRef alloc(std::span<const Lit> lits, bool learnt) {
+    MCSYM_ASSERT(lits.size() >= 1);
+    const std::uint32_t need = words_for(static_cast<std::uint32_t>(lits.size()));
+    const ClauseRef ref = static_cast<ClauseRef>(mem_.size());
+    mem_.resize(mem_.size() + need);
+    Clause& c = deref(ref);
+    c.header_ = (static_cast<std::uint32_t>(lits.size()) << 3) |
+                (learnt ? 1u : 0u);
+    c.lbd_ = 0;
+    c.activity_ = 0.0f;
+    for (std::uint32_t i = 0; i < lits.size(); ++i) c.lits_[i] = lits[i].code();
+    if (learnt) ++learnt_count_; else ++problem_count_;
+    return ref;
+  }
+
+  [[nodiscard]] Clause& deref(ClauseRef ref) {
+    MCSYM_ASSERT(ref < mem_.size());
+    return *reinterpret_cast<Clause*>(&mem_[ref]);
+  }
+  [[nodiscard]] const Clause& deref(ClauseRef ref) const {
+    MCSYM_ASSERT(ref < mem_.size());
+    return *reinterpret_cast<const Clause*>(&mem_[ref]);
+  }
+
+  void free_clause(ClauseRef ref) {
+    Clause& c = deref(ref);
+    MCSYM_ASSERT(!c.dead());
+    if (c.learnt()) --learnt_count_; else --problem_count_;
+    c.mark_dead();
+    wasted_ += words_for(c.size());
+  }
+
+  /// Copies all live clauses into a fresh arena; `relocate` is invoked as
+  /// relocate(old_ref, new_ref) so the solver can patch watchers/reasons.
+  template <typename Fn>
+  void collect_garbage(Fn&& relocate) {
+    std::vector<std::uint32_t> fresh;
+    fresh.reserve(mem_.size() - wasted_);
+    std::uint32_t scan = 0;
+    while (scan < mem_.size()) {
+      Clause& c = *reinterpret_cast<Clause*>(&mem_[scan]);
+      const std::uint32_t need = words_for(c.size());
+      if (!c.dead()) {
+        const ClauseRef new_ref = static_cast<ClauseRef>(fresh.size());
+        fresh.insert(fresh.end(), mem_.begin() + scan, mem_.begin() + scan + need);
+        relocate(static_cast<ClauseRef>(scan), new_ref);
+      }
+      scan += need;
+    }
+    mem_ = std::move(fresh);
+    wasted_ = 0;
+  }
+
+  [[nodiscard]] std::size_t wasted_words() const { return wasted_; }
+  [[nodiscard]] std::size_t size_words() const { return mem_.size(); }
+  [[nodiscard]] std::uint64_t learnt_count() const { return learnt_count_; }
+  [[nodiscard]] std::uint64_t problem_count() const { return problem_count_; }
+
+ private:
+  static constexpr std::uint32_t words_for(std::uint32_t lits) {
+    return 3 + lits;  // header + lbd + activity + literals
+  }
+
+  std::vector<std::uint32_t> mem_;
+  std::size_t wasted_ = 0;
+  std::uint64_t learnt_count_ = 0;
+  std::uint64_t problem_count_ = 0;
+};
+
+}  // namespace mcsym::smt

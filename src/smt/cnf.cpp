@@ -1,0 +1,125 @@
+#include "smt/cnf.hpp"
+
+#include <vector>
+
+namespace mcsym::smt {
+
+CnfBuilder::CnfBuilder(TermTable& terms, SatSolver& sat, IdlTheory& idl)
+    : terms_(terms), sat_(sat), idl_(idl) {
+  const Var t = sat_.new_var();
+  true_lit_ = Lit::make(t, false);
+  sat_.add_clause({true_lit_});
+}
+
+IntVarId CnfBuilder::int_var_of(TermId t) {
+  MCSYM_ASSERT(terms_.node(t).op == Op::kIntVar);
+  if (auto it = int_ids_.find(t); it != int_ids_.end()) return it->second;
+  const IntVarId id = idl_.new_int_var();
+  int_ids_.emplace(t, id);
+  return id;
+}
+
+std::optional<Lit> CnfBuilder::find_literal(TermId t) const {
+  const TermNode& n = terms_.node(t);
+  if (n.op == Op::kNot) {
+    if (auto inner = find_literal(n.child0)) return ~*inner;
+    return std::nullopt;
+  }
+  auto it = cache_.find(t);
+  if (it == cache_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<IntVarId> CnfBuilder::find_int_var(TermId t) const {
+  auto it = int_ids_.find(t);
+  if (it == int_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+Lit CnfBuilder::atom_literal(const TermNode& n) {
+  // kLeAtom child slots hold IntVar terms or kNoTerm (the constant 0, mapped
+  // to the theory's origin node).
+  const IntVarId x = n.child0 == kNoTerm ? idl_.origin() : int_var_of(n.child0);
+  const IntVarId y = n.child1 == kNoTerm ? idl_.origin() : int_var_of(n.child1);
+  return idl_.atom(x, y, n.value);
+}
+
+Lit CnfBuilder::convert(TermId t) {
+  if (auto it = cache_.find(t); it != cache_.end()) return it->second;
+  const TermNode& n = terms_.node(t);
+  Lit result;
+  switch (n.op) {
+    case Op::kTrue: result = true_lit_; break;
+    case Op::kFalse: result = ~true_lit_; break;
+    case Op::kBoolVar: result = Lit::make(sat_.new_var(), false); break;
+    case Op::kNot: return ~convert(n.child0);  // no cache entry of its own
+    case Op::kLeAtom: result = atom_literal(n); break;
+    case Op::kAnd: {
+      const auto kids = terms_.children(t);
+      std::vector<Lit> kid_lits;
+      kid_lits.reserve(kids.size());
+      for (const TermId c : kids) kid_lits.push_back(convert(c));
+      const Lit x = Lit::make(sat_.new_var(), false);
+      std::vector<Lit> big;
+      big.reserve(kid_lits.size() + 1);
+      big.push_back(x);
+      for (const Lit k : kid_lits) {
+        sat_.add_clause({~x, k});  // x -> k
+        big.push_back(~k);
+      }
+      sat_.add_clause(big);  // (and k_i) -> x
+      result = x;
+      break;
+    }
+    case Op::kOr: {
+      const auto kids = terms_.children(t);
+      std::vector<Lit> kid_lits;
+      kid_lits.reserve(kids.size());
+      for (const TermId c : kids) kid_lits.push_back(convert(c));
+      const Lit x = Lit::make(sat_.new_var(), false);
+      std::vector<Lit> big;
+      big.reserve(kid_lits.size() + 1);
+      big.push_back(~x);
+      for (const Lit k : kid_lits) {
+        sat_.add_clause({x, ~k});  // k -> x
+        big.push_back(k);
+      }
+      sat_.add_clause(big);  // x -> (or k_i)
+      result = x;
+      break;
+    }
+    case Op::kIntConst:
+    case Op::kIntVar:
+    case Op::kAddConst:
+      MCSYM_UNREACHABLE("int-sorted term used in boolean position");
+  }
+  cache_.emplace(t, result);
+  return result;
+}
+
+void CnfBuilder::assert_term(TermId t) {
+  const TermNode& n = terms_.node(t);
+  switch (n.op) {
+    case Op::kTrue:
+      return;
+    case Op::kFalse:
+      sat_.add_clause(std::span<const Lit>{});
+      return;
+    case Op::kAnd:
+      for (const TermId c : terms_.children(t)) assert_term(c);
+      return;
+    case Op::kOr: {
+      std::vector<Lit> clause;
+      const auto kids = terms_.children(t);
+      clause.reserve(kids.size());
+      for (const TermId c : kids) clause.push_back(convert(c));
+      sat_.add_clause(clause);
+      return;
+    }
+    default:
+      sat_.add_clause({convert(t)});
+      return;
+  }
+}
+
+}  // namespace mcsym::smt

@@ -1,0 +1,49 @@
+// Tseitin conversion from the term DAG onto the SAT core + IDL theory.
+//
+// Boolean structure becomes fresh SAT variables with defining clauses;
+// kLeAtom leaves become theory-relevant SAT variables registered with the
+// IdlTheory; integer variables get dense theory indices. Conversion is
+// memoized on TermId, so shared subformulas are encoded once.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "smt/idl.hpp"
+#include "smt/sat_solver.hpp"
+#include "smt/term.hpp"
+
+namespace mcsym::smt {
+
+class CnfBuilder {
+ public:
+  CnfBuilder(TermTable& terms, SatSolver& sat, IdlTheory& idl);
+
+  /// Asserts `t` at top level. Top-level conjunctions are split and
+  /// top-level disjunctions become a single clause, so the common encoder
+  /// shapes (big AND of ORs) produce no auxiliary variables at the root.
+  void assert_term(TermId t);
+
+  /// Literal equisatisfiably representing `t` (for assumptions).
+  Lit literal(TermId t) { return convert(t); }
+
+  /// Theory index for an integer variable term (created on demand).
+  IntVarId int_var_of(TermId t);
+
+  /// Lookup without creating; nullopt if the term was never converted.
+  [[nodiscard]] std::optional<Lit> find_literal(TermId t) const;
+  [[nodiscard]] std::optional<IntVarId> find_int_var(TermId t) const;
+
+ private:
+  Lit convert(TermId t);
+  Lit atom_literal(const TermNode& n);
+
+  TermTable& terms_;
+  SatSolver& sat_;
+  IdlTheory& idl_;
+  std::unordered_map<TermId, Lit> cache_;
+  std::unordered_map<TermId, IntVarId> int_ids_;
+  Lit true_lit_;
+};
+
+}  // namespace mcsym::smt

@@ -1,0 +1,92 @@
+// Indexed binary max-heap over variables, keyed by activity.
+//
+// The VSIDS order heap needs decrease/increase-key by variable id, membership
+// tests, and arbitrary removal — none of which std::priority_queue offers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "smt/types.hpp"
+#include "support/assert.hpp"
+
+namespace mcsym::smt {
+
+class ActivityHeap {
+ public:
+  explicit ActivityHeap(const std::vector<double>& activity) : activity_(activity) {}
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  [[nodiscard]] bool contains(Var v) const {
+    return v < position_.size() && position_[v] != kAbsent;
+  }
+
+  void insert(Var v) {
+    if (contains(v)) return;
+    if (v >= position_.size()) position_.resize(v + 1, kAbsent);
+    position_[v] = static_cast<std::uint32_t>(heap_.size());
+    heap_.push_back(v);
+    sift_up(position_[v]);
+  }
+
+  Var pop_max() {
+    MCSYM_ASSERT(!heap_.empty());
+    const Var top = heap_[0];
+    swap_slots(0, heap_.size() - 1);
+    position_[top] = kAbsent;
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return top;
+  }
+
+  /// Restores heap order after `v`'s activity increased.
+  void increased(Var v) {
+    if (contains(v)) sift_up(position_[v]);
+  }
+
+  /// Rebuilds the heap after a global activity rescale.
+  void rebuild() {
+    for (std::size_t i = heap_.size(); i-- > 0;) sift_down(i);
+  }
+
+ private:
+  static constexpr std::uint32_t kAbsent = 0xffffffffu;
+
+  [[nodiscard]] bool higher(Var a, Var b) const { return activity_[a] > activity_[b]; }
+
+  void swap_slots(std::size_t i, std::size_t j) {
+    std::swap(heap_[i], heap_[j]);
+    position_[heap_[i]] = static_cast<std::uint32_t>(i);
+    position_[heap_[j]] = static_cast<std::uint32_t>(j);
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!higher(heap_[i], heap_[parent])) break;
+      swap_slots(i, parent);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    for (;;) {
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = 2 * i + 2;
+      std::size_t best = i;
+      if (left < heap_.size() && higher(heap_[left], heap_[best])) best = left;
+      if (right < heap_.size() && higher(heap_[right], heap_[best])) best = right;
+      if (best == i) break;
+      swap_slots(i, best);
+      i = best;
+    }
+  }
+
+  const std::vector<double>& activity_;
+  std::vector<Var> heap_;
+  std::vector<std::uint32_t> position_;  // var -> slot in heap_, or kAbsent
+};
+
+}  // namespace mcsym::smt

@@ -1,0 +1,56 @@
+#include "smt/smtlib.hpp"
+
+#include <set>
+#include <vector>
+
+namespace mcsym::smt {
+
+namespace {
+
+void collect_vars(const TermTable& tt, TermId t, std::set<TermId>& bools,
+                  std::set<TermId>& ints, std::set<TermId>& visited) {
+  if (visited.contains(t)) return;
+  visited.insert(t);
+  const TermNode& n = tt.node(t);
+  switch (n.op) {
+    case Op::kBoolVar: bools.insert(t); return;
+    case Op::kIntVar: ints.insert(t); return;
+    case Op::kAddConst: collect_vars(tt, n.child0, bools, ints, visited); return;
+    case Op::kNot: collect_vars(tt, n.child0, bools, ints, visited); return;
+    case Op::kLeAtom:
+      if (n.child0 != kNoTerm) collect_vars(tt, n.child0, bools, ints, visited);
+      if (n.child1 != kNoTerm) collect_vars(tt, n.child1, bools, ints, visited);
+      return;
+    case Op::kAnd:
+    case Op::kOr:
+      for (const TermId c : tt.children(t)) collect_vars(tt, c, bools, ints, visited);
+      return;
+    default: return;
+  }
+}
+
+}  // namespace
+
+std::string to_smtlib(const TermTable& terms, std::span<const TermId> assertions,
+                      std::string_view logic) {
+  std::set<TermId> bools;
+  std::set<TermId> ints;
+  std::set<TermId> visited;
+  for (const TermId t : assertions) collect_vars(terms, t, bools, ints, visited);
+
+  std::string out;
+  out += "(set-logic " + std::string(logic) + ")\n";
+  for (const TermId t : ints) {
+    out += "(declare-fun " + terms.var_name(t) + " () Int)\n";
+  }
+  for (const TermId t : bools) {
+    out += "(declare-fun " + terms.var_name(t) + " () Bool)\n";
+  }
+  for (const TermId t : assertions) {
+    out += "(assert " + terms.to_string(t) + ")\n";
+  }
+  out += "(check-sat)\n";
+  return out;
+}
+
+}  // namespace mcsym::smt

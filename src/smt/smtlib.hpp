@@ -1,0 +1,21 @@
+// SMT-LIB 2 export of asserted formulas.
+//
+// Two uses: (1) debugging — dump any encoding and inspect or replay it in a
+// reference solver; (2) the Z3 cross-check tests feed the identical problem
+// text to both solvers.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "smt/term.hpp"
+
+namespace mcsym::smt {
+
+/// Renders declarations plus one (assert ...) per term, a (check-sat) and
+/// (get-model). The fragment is QF_IDL by construction.
+[[nodiscard]] std::string to_smtlib(const TermTable& terms,
+                                    std::span<const TermId> assertions,
+                                    std::string_view logic = "QF_IDL");
+
+}  // namespace mcsym::smt

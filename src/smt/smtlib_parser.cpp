@@ -1,0 +1,493 @@
+#include "smt/smtlib_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
+namespace mcsym::smt {
+
+namespace {
+
+// --- S-expression reader --------------------------------------------------------
+
+struct Sexp {
+  // Leaf: `atom` set, `items` empty. List: items (possibly empty), atom "".
+  std::string atom;
+  std::vector<Sexp> items;
+  std::size_t line = 1;
+
+  [[nodiscard]] bool is_atom() const { return items.empty() && !atom.empty(); }
+  [[nodiscard]] bool is_list() const { return atom.empty(); }
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view src) : src_(src) {}
+
+  /// Reads all top-level s-expressions; empty result + error on failure.
+  bool read_all(std::vector<Sexp>& out, std::string& error) {
+    while (true) {
+      skip_trivia();
+      if (pos_ >= src_.size()) return true;
+      Sexp e;
+      if (!read_one(e, error)) return false;
+      out.push_back(std::move(e));
+    }
+  }
+
+ private:
+  void skip_trivia() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == ';') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool read_one(Sexp& out, std::string& error) {
+    skip_trivia();
+    if (pos_ >= src_.size()) {
+      error = "line " + std::to_string(line_) + ": unexpected end of input";
+      return false;
+    }
+    out.line = line_;
+    const char c = src_[pos_];
+    if (c == '(') {
+      ++pos_;
+      while (true) {
+        skip_trivia();
+        if (pos_ >= src_.size()) {
+          error = "line " + std::to_string(out.line) + ": unbalanced '('";
+          return false;
+        }
+        if (src_[pos_] == ')') {
+          ++pos_;
+          return true;
+        }
+        Sexp child;
+        if (!read_one(child, error)) return false;
+        out.items.push_back(std::move(child));
+      }
+    }
+    if (c == ')') {
+      error = "line " + std::to_string(line_) + ": unexpected ')'";
+      return false;
+    }
+    // Atom: everything until whitespace, paren, or comment. SMT-LIB quoted
+    // symbols |...| are passed through without the bars.
+    if (c == '|') {
+      ++pos_;
+      const std::size_t start = pos_;
+      while (pos_ < src_.size() && src_[pos_] != '|') {
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ >= src_.size()) {
+        error = "line " + std::to_string(out.line) + ": unterminated |symbol|";
+        return false;
+      }
+      out.atom = std::string(src_.substr(start, pos_ - start));
+      ++pos_;
+      return true;
+    }
+    const std::size_t start = pos_;
+    while (pos_ < src_.size()) {
+      const char ch = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(ch)) || ch == '(' || ch == ')' ||
+          ch == ';') {
+        break;
+      }
+      ++pos_;
+    }
+    out.atom = std::string(src_.substr(start, pos_ - start));
+    return true;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+// --- Term building ----------------------------------------------------------------
+
+/// Integer expression in the difference fragment: pos - neg + k, where
+/// either variable slot may be empty.
+struct Lin {
+  TermId pos = kNoTerm;
+  TermId neg = kNoTerm;
+  std::int64_t k = 0;
+
+  [[nodiscard]] int var_count() const {
+    return (pos != kNoTerm ? 1 : 0) + (neg != kNoTerm ? 1 : 0);
+  }
+};
+
+class Builder {
+ public:
+  Builder(TermTable& terms, std::string& error) : tt_(terms), error_(error) {}
+
+  bool run(const std::vector<Sexp>& commands, SmtLibScript& script) {
+    for (const Sexp& cmd : commands) {
+      if (!cmd.is_list() || cmd.items.empty() || !cmd.items[0].is_atom()) {
+        return fail(cmd.line, "expected a (command ...) form");
+      }
+      const std::string& head = cmd.items[0].atom;
+      if (head == "set-logic") {
+        if (cmd.items.size() == 2 && cmd.items[1].is_atom()) {
+          script.logic = cmd.items[1].atom;
+        }
+      } else if (head == "set-info" || head == "set-option") {
+        // Accepted and ignored.
+      } else if (head == "declare-fun") {
+        if (cmd.items.size() != 4 || !cmd.items[1].is_atom() ||
+            !cmd.items[2].is_list() || !cmd.items[2].items.empty() ||
+            !cmd.items[3].is_atom()) {
+          return fail(cmd.line, "expected (declare-fun name () Sort)");
+        }
+        if (!declare(cmd.items[1].atom, cmd.items[3].atom, cmd.line, script)) {
+          return false;
+        }
+      } else if (head == "declare-const") {
+        if (cmd.items.size() != 3 || !cmd.items[1].is_atom() ||
+            !cmd.items[2].is_atom()) {
+          return fail(cmd.line, "expected (declare-const name Sort)");
+        }
+        if (!declare(cmd.items[1].atom, cmd.items[2].atom, cmd.line, script)) {
+          return false;
+        }
+      } else if (head == "assert") {
+        if (cmd.items.size() != 2) return fail(cmd.line, "expected (assert term)");
+        const TermId t = bool_term(cmd.items[1]);
+        if (t == kNoTerm) return false;
+        script.assertions.push_back(t);
+      } else if (head == "check-sat") {
+        script.check_sat = true;
+      } else if (head == "get-model" || head == "exit") {
+        // No-ops for this front end.
+      } else {
+        return fail(cmd.line, "unsupported command '" + head + "'");
+      }
+    }
+    return true;
+  }
+
+ private:
+  bool fail(std::size_t line, const std::string& message) {
+    if (error_.empty()) {
+      error_ = "line " + std::to_string(line) + ": " + message;
+    }
+    return false;
+  }
+
+  bool declare(const std::string& name, const std::string& sort, std::size_t line,
+               SmtLibScript& script) {
+    if (vars_.contains(name)) return fail(line, "redeclaration of '" + name + "'");
+    TermId t;
+    if (sort == "Int") {
+      t = tt_.int_var(name);
+      script.declared_ints.push_back(t);
+    } else if (sort == "Bool") {
+      t = tt_.bool_var(name);
+      script.declared_bools.push_back(t);
+    } else {
+      return fail(line, "unsupported sort '" + sort + "' (Int and Bool only)");
+    }
+    vars_.emplace(name, t);
+    return true;
+  }
+
+  /// Accepts optionally-signed numerals: the canonical SMT-LIB spelling is
+  /// `(- 1)`, but our own exporter (and many tools) write `-1` directly.
+  [[nodiscard]] static bool is_numeral(const std::string& s) {
+    const std::size_t start = (s.size() > 1 && s[0] == '-') ? 1 : 0;
+    if (s.size() == start) return false;
+    for (std::size_t i = start; i < s.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+    }
+    return true;
+  }
+
+  /// Parses a boolean-sorted term; kNoTerm + error on failure.
+  TermId bool_term(const Sexp& e) {
+    if (e.is_atom()) {
+      if (e.atom == "true") return tt_.true_();
+      if (e.atom == "false") return tt_.false_();
+      const auto it = vars_.find(e.atom);
+      if (it == vars_.end()) {
+        fail(e.line, "undeclared symbol '" + e.atom + "'");
+        return kNoTerm;
+      }
+      if (tt_.node(it->second).sort != Sort::kBool) {
+        fail(e.line, "'" + e.atom + "' is not Bool-sorted");
+        return kNoTerm;
+      }
+      return it->second;
+    }
+    if (e.items.empty() || !e.items[0].is_atom()) {
+      fail(e.line, "expected an (operator ...) term");
+      return kNoTerm;
+    }
+    const std::string& op = e.items[0].atom;
+    const std::size_t n = e.items.size() - 1;
+
+    if (op == "not") {
+      if (n != 1) {
+        fail(e.line, "'not' takes one argument");
+        return kNoTerm;
+      }
+      const TermId a = bool_term(e.items[1]);
+      return a == kNoTerm ? kNoTerm : tt_.not_(a);
+    }
+    if (op == "and" || op == "or") {
+      std::vector<TermId> kids;
+      kids.reserve(n);
+      for (std::size_t i = 1; i < e.items.size(); ++i) {
+        const TermId a = bool_term(e.items[i]);
+        if (a == kNoTerm) return kNoTerm;
+        kids.push_back(a);
+      }
+      return op == "and" ? tt_.and_(kids) : tt_.or_(kids);
+    }
+    if (op == "=>") {
+      if (n < 2) {
+        fail(e.line, "'=>' takes at least two arguments");
+        return kNoTerm;
+      }
+      // Right-associative chain.
+      TermId acc = bool_term(e.items.back());
+      if (acc == kNoTerm) return kNoTerm;
+      for (std::size_t i = e.items.size() - 2; i >= 1; --i) {
+        const TermId a = bool_term(e.items[i]);
+        if (a == kNoTerm) return kNoTerm;
+        acc = tt_.implies(a, acc);
+      }
+      return acc;
+    }
+    if (op == "xor") {
+      if (n != 2) {
+        fail(e.line, "'xor' takes two arguments");
+        return kNoTerm;
+      }
+      const TermId a = bool_term(e.items[1]);
+      const TermId b = bool_term(e.items[2]);
+      if (a == kNoTerm || b == kNoTerm) return kNoTerm;
+      return tt_.not_(tt_.iff(a, b));
+    }
+    if (op == "ite") {
+      if (n != 3) {
+        fail(e.line, "'ite' takes three arguments");
+        return kNoTerm;
+      }
+      const TermId c = bool_term(e.items[1]);
+      const TermId a = bool_term(e.items[2]);
+      const TermId b = bool_term(e.items[3]);
+      if (c == kNoTerm || a == kNoTerm || b == kNoTerm) return kNoTerm;
+      return tt_.ite(c, a, b);
+    }
+    if (op == "=" || op == "distinct" || op == "<" || op == "<=" || op == ">" ||
+        op == ">=") {
+      return comparison(e, op);
+    }
+    fail(e.line, "unsupported boolean operator '" + op + "'");
+    return kNoTerm;
+  }
+
+  /// `(= a b)` over Bool is iff; everything else is an integer comparison.
+  TermId comparison(const Sexp& e, const std::string& op) {
+    if (e.items.size() < 3) {
+      fail(e.line, "'" + op + "' takes at least two arguments");
+      return kNoTerm;
+    }
+    if (op == "=" && e.items.size() == 3 && is_bool_sorted(e.items[1]) &&
+        is_bool_sorted(e.items[2])) {
+      const TermId a = bool_term(e.items[1]);
+      const TermId b = bool_term(e.items[2]);
+      if (a == kNoTerm || b == kNoTerm) return kNoTerm;
+      return tt_.iff(a, b);
+    }
+
+    std::vector<Lin> sides;
+    sides.reserve(e.items.size() - 1);
+    for (std::size_t i = 1; i < e.items.size(); ++i) {
+      Lin l;
+      if (!int_term(e.items[i], l)) return kNoTerm;
+      sides.push_back(l);
+    }
+
+    if (op == "distinct") {
+      std::vector<TermId> pairs;
+      for (std::size_t i = 0; i < sides.size(); ++i) {
+        for (std::size_t j = i + 1; j < sides.size(); ++j) {
+          const TermId t = relate(sides[i], sides[j], e.line, "distinct");
+          if (t == kNoTerm) return kNoTerm;
+          pairs.push_back(t);
+        }
+      }
+      return tt_.and_(pairs);
+    }
+
+    // Chainable comparisons: (< a b c) = a<b ∧ b<c.
+    std::vector<TermId> conj;
+    for (std::size_t i = 0; i + 1 < sides.size(); ++i) {
+      const TermId t = relate(sides[i], sides[i + 1], e.line, op);
+      if (t == kNoTerm) return kNoTerm;
+      conj.push_back(t);
+    }
+    return conj.size() == 1 ? conj[0] : tt_.and_(conj);
+  }
+
+  /// Builds `a OP b`. The combined form a-b must have at most one positive
+  /// and one negative variable to stay in difference logic.
+  TermId relate(const Lin& a, const Lin& b, std::size_t line, const std::string& op) {
+    // d = a - b = (a.pos + b.neg) - (a.neg + b.pos) + (a.k - b.k)
+    std::vector<TermId> pos;
+    std::vector<TermId> neg;
+    if (a.pos != kNoTerm) pos.push_back(a.pos);
+    if (b.neg != kNoTerm) pos.push_back(b.neg);
+    if (a.neg != kNoTerm) neg.push_back(a.neg);
+    if (b.pos != kNoTerm) neg.push_back(b.pos);
+    // Cancel identical terms across the lists (x - x).
+    for (auto it = pos.begin(); it != pos.end();) {
+      const auto match = std::find(neg.begin(), neg.end(), *it);
+      if (match != neg.end()) {
+        neg.erase(match);
+        it = pos.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (pos.size() > 1 || neg.size() > 1) {
+      fail(line, "comparison leaves the difference-logic fragment");
+      return kNoTerm;
+    }
+    const std::int64_t k = a.k - b.k;
+    // lhs - rhs where lhs = pos + k, rhs = neg; relate with OP against 0.
+    const TermId lhs = pos.empty() ? tt_.int_const(k) : tt_.add_const(pos[0], k);
+    const TermId rhs = neg.empty() ? tt_.int_const(0) : neg[0];
+    if (op == "=") return tt_.eq(lhs, rhs);
+    if (op == "distinct") return tt_.ne(lhs, rhs);
+    if (op == "<") return tt_.lt(lhs, rhs);
+    if (op == "<=") return tt_.le(lhs, rhs);
+    if (op == ">") return tt_.gt(lhs, rhs);
+    if (op == ">=") return tt_.ge(lhs, rhs);
+    fail(line, "unsupported comparison '" + op + "'");
+    return kNoTerm;
+  }
+
+  [[nodiscard]] bool is_bool_sorted(const Sexp& e) const {
+    if (e.is_atom()) {
+      if (e.atom == "true" || e.atom == "false") return true;
+      const auto it = vars_.find(e.atom);
+      return it != vars_.end() && tt_.node(it->second).sort == Sort::kBool;
+    }
+    if (e.items.empty() || !e.items[0].is_atom()) return false;
+    const std::string& op = e.items[0].atom;
+    return op == "not" || op == "and" || op == "or" || op == "=>" || op == "xor" ||
+           op == "ite" || op == "=" || op == "distinct" || op == "<" ||
+           op == "<=" || op == ">" || op == ">=";
+  }
+
+  /// Parses an integer-sorted term into pos - neg + k form.
+  bool int_term(const Sexp& e, Lin& out) {
+    if (e.is_atom()) {
+      if (is_numeral(e.atom)) {
+        out = Lin{kNoTerm, kNoTerm, std::stoll(e.atom)};
+        return true;
+      }
+      const auto it = vars_.find(e.atom);
+      if (it == vars_.end()) return fail(e.line, "undeclared symbol '" + e.atom + "'");
+      if (tt_.node(it->second).sort != Sort::kInt) {
+        return fail(e.line, "'" + e.atom + "' is not Int-sorted");
+      }
+      out = Lin{it->second, kNoTerm, 0};
+      return true;
+    }
+    if (e.items.empty() || !e.items[0].is_atom()) {
+      return fail(e.line, "expected an integer term");
+    }
+    const std::string& op = e.items[0].atom;
+    if (op == "+") {
+      Lin acc;
+      for (std::size_t i = 1; i < e.items.size(); ++i) {
+        Lin l;
+        if (!int_term(e.items[i], l)) return false;
+        if (!combine(acc, l, e.line)) return false;
+      }
+      out = acc;
+      return true;
+    }
+    if (op == "-") {
+      if (e.items.size() == 2) {  // unary minus
+        Lin l;
+        if (!int_term(e.items[1], l)) return false;
+        out = Lin{l.neg, l.pos, -l.k};
+        return true;
+      }
+      Lin acc;
+      if (!int_term(e.items[1], acc)) return false;
+      for (std::size_t i = 2; i < e.items.size(); ++i) {
+        Lin l;
+        if (!int_term(e.items[i], l)) return false;
+        const Lin negated{l.neg, l.pos, -l.k};
+        if (!combine(acc, negated, e.line)) return false;
+      }
+      out = acc;
+      return true;
+    }
+    return fail(e.line, "unsupported integer operator '" + op + "'");
+  }
+
+  /// acc += l, staying within one positive and one negative variable.
+  bool combine(Lin& acc, const Lin& l, std::size_t line) {
+    acc.k += l.k;
+    for (const bool positive : {true, false}) {
+      const TermId v = positive ? l.pos : l.neg;
+      if (v == kNoTerm) continue;
+      TermId& same = positive ? acc.pos : acc.neg;
+      TermId& other = positive ? acc.neg : acc.pos;
+      if (other == v) {
+        other = kNoTerm;  // x and -x cancel
+      } else if (same == kNoTerm) {
+        same = v;
+      } else {
+        return fail(line, "sum leaves the difference-logic fragment");
+      }
+    }
+    return true;
+  }
+
+  TermTable& tt_;
+  std::string& error_;
+  std::unordered_map<std::string, TermId> vars_;
+};
+
+}  // namespace
+
+SmtLibOutcome parse_smtlib(TermTable& terms, std::string_view source) {
+  SmtLibOutcome outcome;
+  std::vector<Sexp> commands;
+  std::string error;
+  Reader reader(source);
+  if (!reader.read_all(commands, error)) {
+    outcome.error = std::move(error);
+    return outcome;
+  }
+  SmtLibScript script;
+  Builder builder(terms, outcome.error);
+  if (!builder.run(commands, script)) {
+    if (outcome.error.empty()) outcome.error = "parse failed";
+    return outcome;
+  }
+  outcome.script.emplace(std::move(script));
+  return outcome;
+}
+
+}  // namespace mcsym::smt

@@ -1,0 +1,46 @@
+// SMT-LIB 2 front end for the QF_IDL fragment the solver implements.
+//
+// The inverse of to_smtlib(): reads a script of declarations and assertions
+// into a TermTable, so problems exported by the encoder (or written by hand,
+// or produced by other tools in this fragment) can be solved standalone —
+// `mcsym solve file.smt2` — and so the dump/parse/solve roundtrip can be
+// property-tested against direct solving.
+//
+// Supported commands: set-logic / set-info / set-option (accepted, ignored),
+// declare-fun (zero-arity), declare-const, assert, check-sat, get-model,
+// exit. Terms: true/false, declared constants, integer numerals, not / and /
+// or / => / xor / ite (boolean), = / distinct / < / <= / > / >=, and integer
+// expressions that stay in the difference-logic fragment: `x`, `k`, `(+ x
+// k)`, `(- x y)`, `(- x k)`, unary `(- t)`. Anything outside the fragment is
+// reported as an error, not silently mangled.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "smt/term.hpp"
+
+namespace mcsym::smt {
+
+struct SmtLibScript {
+  std::vector<TermId> assertions;      // in script order
+  bool check_sat = false;              // a (check-sat) command was present
+  std::vector<TermId> declared_ints;   // declaration order
+  std::vector<TermId> declared_bools;  // declaration order
+  std::string logic;                   // from (set-logic ...), if any
+};
+
+struct SmtLibOutcome {
+  std::optional<SmtLibScript> script;  // engaged iff error is empty
+  std::string error;                   // "line N: message"
+
+  [[nodiscard]] bool ok() const { return script.has_value(); }
+};
+
+/// Parses `source` into `terms`. Declarations intern variables by name, so
+/// parsing an export back into the same table reuses the original TermIds.
+[[nodiscard]] SmtLibOutcome parse_smtlib(TermTable& terms, std::string_view source);
+
+}  // namespace mcsym::smt

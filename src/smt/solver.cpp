@@ -1,0 +1,107 @@
+#include "smt/solver.hpp"
+
+#include <algorithm>
+
+namespace mcsym::smt {
+
+std::int64_t Model::int_value(TermId t) const {
+  auto it = ints_.find(t);
+  MCSYM_ASSERT_MSG(it != ints_.end(), "term not captured in model snapshot");
+  return it->second;
+}
+
+bool Model::bool_value(TermId t) const {
+  auto it = bools_.find(t);
+  MCSYM_ASSERT_MSG(it != bools_.end(), "term not captured in model snapshot");
+  return it->second;
+}
+
+Solver::Solver() : idl_(sat_), cnf_(terms_, sat_, idl_) {}
+
+void Solver::assert_term(TermId t) {
+  assertions_.push_back(t);
+  cnf_.assert_term(t);
+}
+
+SolveResult Solver::check() { return sat_.solve(); }
+
+Solver::AssumingResult Solver::check_assuming(std::span<const TermId> assumptions) {
+  std::vector<Lit> lits;
+  lits.reserve(assumptions.size());
+  for (const TermId t : assumptions) lits.push_back(cnf_.literal(t));
+
+  AssumingResult out;
+  out.result = sat_.solve(lits);
+  if (out.result == SolveResult::kUnsat) {
+    const std::vector<Lit>& failed = sat_.failed_assumptions();
+    for (std::size_t i = 0; i < assumptions.size(); ++i) {
+      if (std::find(failed.begin(), failed.end(), lits[i]) != failed.end()) {
+        out.core.push_back(assumptions[i]);
+      }
+    }
+  }
+  return out;
+}
+
+std::int64_t Solver::model_int(TermId t) const {
+  const TermTable::IntDecomp d = terms_.decompose_int(t);
+  if (d.var == kNoTerm) return d.offset;
+  // Int vars that never reached an asserted atom are unconstrained; the
+  // origin's value (0) is as good as any.
+  const auto id = cnf_.find_int_var(d.var);
+  const std::int64_t base = id ? idl_.model_value(*id) : 0;
+  return base + d.offset;
+}
+
+bool Solver::model_bool(TermId t) const {
+  const TermNode& n = terms_.node(t);
+  switch (n.op) {
+    case Op::kTrue: return true;
+    case Op::kFalse: return false;
+    case Op::kNot: return !model_bool(n.child0);
+    case Op::kAnd:
+      for (const TermId c : terms_.children(t)) {
+        if (!model_bool(c)) return false;
+      }
+      return true;
+    case Op::kOr:
+      for (const TermId c : terms_.children(t)) {
+        if (model_bool(c)) return true;
+      }
+      return false;
+    case Op::kLeAtom: {
+      // Evaluate arithmetically: sound even if the atom's SAT variable was
+      // left unassigned or the atom never reached the solver.
+      const std::int64_t x = n.child0 == kNoTerm ? 0 : model_int(n.child0);
+      const std::int64_t y = n.child1 == kNoTerm ? 0 : model_int(n.child1);
+      return x - y <= n.value;
+    }
+    case Op::kBoolVar: {
+      const auto lit = cnf_.find_literal(t);
+      if (!lit) return false;  // unconstrained boolean: pick false
+      return sat_.model_is_true(*lit);
+    }
+    case Op::kIntConst:
+    case Op::kIntVar:
+    case Op::kAddConst:
+      MCSYM_UNREACHABLE("int term evaluated as bool");
+  }
+  return false;
+}
+
+Model Solver::snapshot_ints(std::span<const TermId> int_terms) const {
+  Model m;
+  for (const TermId t : int_terms) m.put_int(t, model_int(t));
+  return m;
+}
+
+void Solver::block_current_ints(std::span<const TermId> int_terms) {
+  std::vector<TermId> disjuncts;
+  disjuncts.reserve(int_terms.size());
+  for (const TermId t : int_terms) {
+    disjuncts.push_back(terms_.ne(t, terms_.int_const(model_int(t))));
+  }
+  assert_term(terms_.or_(disjuncts));
+}
+
+}  // namespace mcsym::smt

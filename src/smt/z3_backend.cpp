@@ -1,0 +1,77 @@
+#include "smt/z3_backend.hpp"
+
+#include <unordered_map>
+
+#include <z3++.h>
+
+namespace mcsym::smt {
+
+namespace {
+
+z3::expr translate(z3::context& ctx, const TermTable& tt, TermId t,
+                   std::unordered_map<TermId, unsigned>& cache,
+                   std::vector<z3::expr>& pool) {
+  if (auto it = cache.find(t); it != cache.end()) return pool[it->second];
+  const TermNode& n = tt.node(t);
+  auto memo = [&](z3::expr e) {
+    cache.emplace(t, static_cast<unsigned>(pool.size()));
+    pool.push_back(e);
+    return e;
+  };
+  switch (n.op) {
+    case Op::kTrue: return memo(ctx.bool_val(true));
+    case Op::kFalse: return memo(ctx.bool_val(false));
+    case Op::kBoolVar: return memo(ctx.bool_const(tt.var_name(t).c_str()));
+    case Op::kIntVar: return memo(ctx.int_const(tt.var_name(t).c_str()));
+    case Op::kIntConst: return memo(ctx.int_val(static_cast<int64_t>(n.value)));
+    case Op::kAddConst:
+      return memo(translate(ctx, tt, n.child0, cache, pool) +
+                  ctx.int_val(static_cast<int64_t>(n.value)));
+    case Op::kNot: return memo(!translate(ctx, tt, n.child0, cache, pool));
+    case Op::kAnd: {
+      z3::expr_vector kids(ctx);
+      for (const TermId c : tt.children(t)) {
+        kids.push_back(translate(ctx, tt, c, cache, pool));
+      }
+      return memo(z3::mk_and(kids));
+    }
+    case Op::kOr: {
+      z3::expr_vector kids(ctx);
+      for (const TermId c : tt.children(t)) {
+        kids.push_back(translate(ctx, tt, c, cache, pool));
+      }
+      return memo(z3::mk_or(kids));
+    }
+    case Op::kLeAtom: {
+      z3::expr x = n.child0 == kNoTerm ? ctx.int_val(0)
+                                       : translate(ctx, tt, n.child0, cache, pool);
+      z3::expr y = n.child1 == kNoTerm ? ctx.int_val(0)
+                                       : translate(ctx, tt, n.child1, cache, pool);
+      return memo(x - y <= ctx.int_val(static_cast<int64_t>(n.value)));
+    }
+  }
+  MCSYM_UNREACHABLE("bad term op");
+}
+
+}  // namespace
+
+bool Z3Backend::available() { return true; }
+
+SolveResult Z3Backend::check(const TermTable& terms,
+                             std::span<const TermId> assertions) {
+  z3::context ctx;
+  z3::solver solver(ctx);
+  std::unordered_map<TermId, unsigned> cache;
+  std::vector<z3::expr> pool;
+  for (const TermId t : assertions) {
+    solver.add(translate(ctx, terms, t, cache, pool));
+  }
+  switch (solver.check()) {
+    case z3::sat: return SolveResult::kSat;
+    case z3::unsat: return SolveResult::kUnsat;
+    case z3::unknown: return SolveResult::kUnknown;
+  }
+  return SolveResult::kUnknown;
+}
+
+}  // namespace mcsym::smt

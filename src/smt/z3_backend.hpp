@@ -1,0 +1,26 @@
+// Optional Z3 cross-check backend.
+//
+// The reproduction's primary solver is the in-tree CDCL+IDL engine; Z3 (when
+// present at build time) re-decides the identical term-level problem so the
+// property tests can assert SAT/UNSAT agreement and the solver bench can
+// compare runtimes. Nothing else in the system depends on Z3.
+#pragma once
+
+#include <span>
+
+#include "smt/sat_solver.hpp"
+#include "smt/term.hpp"
+
+namespace mcsym::smt {
+
+class Z3Backend {
+ public:
+  /// True when the build linked against libz3.
+  [[nodiscard]] static bool available();
+
+  /// Decides the conjunction of `assertions`. Aborts if !available().
+  [[nodiscard]] static SolveResult check(const TermTable& terms,
+                                         std::span<const TermId> assertions);
+};
+
+}  // namespace mcsym::smt

@@ -1,0 +1,13 @@
+// Built when libz3 is absent: the backend reports itself unavailable and
+// callers (tests, benches) skip the cross-checks.
+#include "smt/z3_backend.hpp"
+
+namespace mcsym::smt {
+
+bool Z3Backend::available() { return false; }
+
+SolveResult Z3Backend::check(const TermTable&, std::span<const TermId>) {
+  MCSYM_UNREACHABLE("Z3 backend not built; guard calls with available()");
+}
+
+}  // namespace mcsym::smt

@@ -1,0 +1,35 @@
+// Lightweight always-on assertion macros.
+//
+// Verification code is exactly the kind of code where a silently-wrong
+// invariant produces a wrong SAT/UNSAT answer rather than a crash, so the
+// checks stay on in release builds. The cost is negligible next to solving.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mcsym::support {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "mcsym: assertion failed: %s\n  at %s:%d\n", expr, file, line);
+  if (msg != nullptr && msg[0] != '\0') {
+    std::fprintf(stderr, "  note: %s\n", msg);
+  }
+  std::abort();
+}
+
+}  // namespace mcsym::support
+
+#define MCSYM_ASSERT(cond)                                                      \
+  do {                                                                          \
+    if (!(cond)) ::mcsym::support::assert_fail(#cond, __FILE__, __LINE__, "");  \
+  } while (false)
+
+#define MCSYM_ASSERT_MSG(cond, msg)                                              \
+  do {                                                                           \
+    if (!(cond)) ::mcsym::support::assert_fail(#cond, __FILE__, __LINE__, msg);  \
+  } while (false)
+
+#define MCSYM_UNREACHABLE(msg) \
+  ::mcsym::support::assert_fail("unreachable", __FILE__, __LINE__, msg)

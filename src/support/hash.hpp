@@ -1,0 +1,57 @@
+// 128-bit incremental state hashing.
+//
+// The explicit-state checker and the precise match-pair DFS both memoize
+// visited states keyed by a hash of a canonical serialization. A 64-bit key
+// reaches birthday-collision territory around a few hundred million states —
+// and a collision here silently drops reachable behaviors, which the
+// cross-validation suite would surface as a baffling one-seed failure. Two
+// independent 64-bit FNV-1a lanes (distinct offset bases and a lane-2 input
+// twist) push that risk out of reach for any enumeration that fits in RAM.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace mcsym::support {
+
+struct Hash128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+};
+
+class StateHasher {
+ public:
+  void mix(std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      const std::uint64_t b = (v >> (byte * 8)) & 0xffu;
+      lo_ = (lo_ ^ b) * kPrime;
+      hi_ = (hi_ ^ (b + 0x9e)) * kPrime;  // twist keeps the lanes independent
+    }
+  }
+  void mix_signed(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+
+  /// Order-insensitive combination of a sub-hash (e.g. per-channel digests
+  /// whose container order is insertion-dependent).
+  void mix_unordered(const Hash128& h) {
+    lo_ ^= h.lo;
+    hi_ ^= h.hi;
+  }
+
+  [[nodiscard]] Hash128 digest() const { return {lo_, hi_}; }
+
+ private:
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t lo_ = 0xcbf29ce484222325ULL;
+  std::uint64_t hi_ = 0x84222325cbf29ce4ULL;
+};
+
+}  // namespace mcsym::support
+
+template <>
+struct std::hash<mcsym::support::Hash128> {
+  std::size_t operator()(const mcsym::support::Hash128& h) const noexcept {
+    return h.lo ^ (h.hi * 0x9e3779b97f4a7c15ULL);
+  }
+};

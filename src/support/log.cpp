@@ -1,0 +1,45 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mcsym::support {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void init_log_level_from_env() {
+  const char* env = std::getenv("MCSYM_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "error") == 0) set_log_level(LogLevel::kError);
+  else if (std::strcmp(env, "warn") == 0) set_log_level(LogLevel::kWarn);
+  else if (std::strcmp(env, "info") == 0) set_log_level(LogLevel::kInfo);
+  else if (std::strcmp(env, "debug") == 0) set_log_level(LogLevel::kDebug);
+}
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[mcsym:%s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace mcsym::support

@@ -1,0 +1,41 @@
+// Minimal leveled logger.
+//
+// The solver and checkers are library code: they must never write to stdout
+// on their own (benchmarks own stdout for their result rows). Everything goes
+// to stderr, gated by a process-wide level that defaults to warnings only.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mcsym::support {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Process-wide log threshold; messages above it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Honors the MCSYM_LOG environment variable ("error"|"warn"|"info"|"debug").
+void init_log_level_from_env();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+}  // namespace mcsym::support
+
+#define MCSYM_LOG(level, expr)                                         \
+  do {                                                                 \
+    if (static_cast<int>(level) <=                                     \
+        static_cast<int>(::mcsym::support::log_level())) {             \
+      std::ostringstream mcsym_log_os;                                 \
+      mcsym_log_os << expr;                                            \
+      ::mcsym::support::detail::log_emit(level, mcsym_log_os.str());   \
+    }                                                                  \
+  } while (false)
+
+#define MCSYM_ERROR(expr) MCSYM_LOG(::mcsym::support::LogLevel::kError, expr)
+#define MCSYM_WARN(expr) MCSYM_LOG(::mcsym::support::LogLevel::kWarn, expr)
+#define MCSYM_INFO(expr) MCSYM_LOG(::mcsym::support::LogLevel::kInfo, expr)
+#define MCSYM_DEBUG(expr) MCSYM_LOG(::mcsym::support::LogLevel::kDebug, expr)

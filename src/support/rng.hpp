@@ -1,0 +1,78 @@
+// Deterministic, seedable PRNG (xoshiro256**).
+//
+// Every source of simulated nondeterminism in the MCAPI runtime (scheduler
+// choices, network delays) draws from one of these so executions replay
+// bit-for-bit from a seed. std::mt19937 would also work, but its state is
+// large and its distributions are not portable across standard libraries;
+// experiment output must be stable across machines.
+#pragma once
+
+#include <cstdint>
+
+#include "support/assert.hpp"
+
+namespace mcsym::support {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes state from a single 64-bit seed via splitmix64, which
+  /// guarantees a non-zero state for any seed (xoshiro requires that).
+  void reseed(std::uint64_t seed) {
+    auto splitmix = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& word : state_) word = splitmix();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound) {
+    MCSYM_ASSERT(bound > 0);
+    // Rejection loop terminates with overwhelming probability per iteration.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    MCSYM_ASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Bernoulli draw with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) { return below(den) < num; }
+
+  double next_double() {  // uniform in [0, 1)
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace mcsym::support

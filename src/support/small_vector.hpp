@@ -1,0 +1,175 @@
+// Vector with inline storage for the first N elements.
+//
+// Clause literals, watcher lists, and candidate-send sets are almost always
+// tiny; keeping them inline avoids the allocator on the SAT hot path. The
+// interface is the subset of std::vector the solver actually uses. Elements
+// must be trivially copyable (true for literals, indices, and edge records).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+#include "support/assert.hpp"
+
+namespace mcsym::support {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is restricted to trivially copyable payloads");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& other) { assign_from(other); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear_storage();
+      assign_from(other);
+    }
+    return *this;
+  }
+
+  SmallVector(SmallVector&& other) noexcept { steal_from(other); }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      clear_storage();
+      steal_from(other);
+    }
+    return *this;
+  }
+
+  ~SmallVector() { clear_storage(); }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  T& operator[](std::size_t i) {
+    MCSYM_ASSERT(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    MCSYM_ASSERT(i < size_);
+    return data_[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    data_[size_++] = v;
+  }
+
+  void pop_back() {
+    MCSYM_ASSERT(size_ > 0);
+    --size_;
+  }
+
+  void clear() { size_ = 0; }
+
+  void resize(std::size_t n, const T& fill = T{}) {
+    reserve(n);
+    for (std::size_t i = size_; i < n; ++i) data_[i] = fill;
+    size_ = n;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow(std::max(n, capacity_ * 2));
+  }
+
+  /// Removes the element at `i` by swapping the last element into its slot.
+  /// O(1); used by watcher lists where order is irrelevant.
+  void swap_remove(std::size_t i) {
+    MCSYM_ASSERT(i < size_);
+    data_[i] = data_[size_ - 1];
+    --size_;
+  }
+
+  iterator erase(iterator pos) {
+    MCSYM_ASSERT(pos >= begin() && pos < end());
+    std::copy(pos + 1, end(), pos);
+    --size_;
+    return pos;
+  }
+
+  bool contains(const T& v) const {
+    return std::find(begin(), end(), v) != end();
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  void assign_from(const SmallVector& other) {
+    reserve(other.size_);
+    std::memcpy(static_cast<void*>(data_), other.data_, other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  void steal_from(SmallVector& other) noexcept {
+    if (other.data_ == other.inline_storage()) {
+      std::memcpy(static_cast<void*>(inline_storage()), other.data_,
+                  other.size_ * sizeof(T));
+      data_ = inline_storage();
+    } else {
+      data_ = other.data_;  // take ownership of the heap block
+      capacity_ = other.capacity_;
+    }
+    size_ = other.size_;
+    other.data_ = other.inline_storage();
+    other.size_ = 0;
+    other.capacity_ = N;
+  }
+
+  void grow(std::size_t new_capacity) {
+    T* fresh = static_cast<T*>(::operator new(new_capacity * sizeof(T)));
+    std::memcpy(static_cast<void*>(fresh), data_, size_ * sizeof(T));
+    if (data_ != inline_storage()) ::operator delete(data_);
+    data_ = fresh;
+    capacity_ = new_capacity;
+  }
+
+  void clear_storage() {
+    if (data_ != inline_storage()) ::operator delete(data_);
+    data_ = inline_storage();
+    size_ = 0;
+    capacity_ = N;
+  }
+
+  T* inline_storage() { return reinterpret_cast<T*>(inline_); }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_ = inline_storage();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace mcsym::support

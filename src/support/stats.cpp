@@ -1,0 +1,35 @@
+#include "support/stats.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace mcsym::support {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStats::summary() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean_ << " min=" << min_ << " max=" << max_;
+  return os.str();
+}
+
+}  // namespace mcsym::support

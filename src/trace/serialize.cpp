@@ -1,0 +1,248 @@
+// Text (de)serialization of traces.
+//
+// One event per line, space-separated key=value tokens, first token is the
+// event kind. Variable names are serialized by spelling and re-interned on
+// load (names therefore must not contain spaces or '='). Example:
+//
+//   send t=2 op=0 src=3 dst=0 expr=const:7 uid=1 value=7
+//   recv t=0 op=0 ep=0 var=a slot=0 uid=1 value=7
+//   branch t=1 op=2 lhs=var:x rel=== rhs=const:0 outcome=1
+#include <map>
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "trace/trace.hpp"
+
+namespace mcsym::trace {
+
+namespace {
+
+using mcapi::Cond;
+using mcapi::ExecEvent;
+using mcapi::Rel;
+using mcapi::ValueExpr;
+
+std::string expr_to_text(const ValueExpr& e, const support::Interner& names) {
+  switch (e.kind) {
+    case ValueExpr::Kind::kConst: return "const:" + std::to_string(e.k);
+    case ValueExpr::Kind::kVar: return "var:" + names.spelling(e.var);
+    case ValueExpr::Kind::kVarPlus:
+      return "varplus:" + names.spelling(e.var) + ":" + std::to_string(e.k);
+  }
+  MCSYM_UNREACHABLE("bad expr kind");
+}
+
+ValueExpr expr_from_text(const std::string& text, support::Interner& names) {
+  const auto first = text.find(':');
+  MCSYM_ASSERT_MSG(first != std::string::npos, "malformed expr token");
+  const std::string tag = text.substr(0, first);
+  const std::string rest = text.substr(first + 1);
+  if (tag == "const") return ValueExpr::constant(std::stoll(rest));
+  if (tag == "var") return ValueExpr::variable(names.intern(rest));
+  MCSYM_ASSERT_MSG(tag == "varplus", "unknown expr tag");
+  const auto second = rest.rfind(':');
+  MCSYM_ASSERT_MSG(second != std::string::npos, "malformed varplus token");
+  return ValueExpr::var_plus(names.intern(rest.substr(0, second)),
+                             std::stoll(rest.substr(second + 1)));
+}
+
+const char* rel_token(Rel r) {
+  switch (r) {
+    case Rel::kLt: return "lt";
+    case Rel::kLe: return "le";
+    case Rel::kEq: return "eq";
+    case Rel::kNe: return "ne";
+    case Rel::kGe: return "ge";
+    case Rel::kGt: return "gt";
+  }
+  return "?";
+}
+
+Rel rel_from_token(const std::string& s) {
+  if (s == "lt") return Rel::kLt;
+  if (s == "le") return Rel::kLe;
+  if (s == "eq") return Rel::kEq;
+  if (s == "ne") return Rel::kNe;
+  if (s == "ge") return Rel::kGe;
+  MCSYM_ASSERT_MSG(s == "gt", "unknown relation token");
+  return Rel::kGt;
+}
+
+const char* kind_token(ExecEvent::Kind k) {
+  switch (k) {
+    case ExecEvent::Kind::kSend: return "send";
+    case ExecEvent::Kind::kRecv: return "recv";
+    case ExecEvent::Kind::kRecvIssue: return "recv_i";
+    case ExecEvent::Kind::kWait: return "wait";
+    case ExecEvent::Kind::kTest: return "test";
+    case ExecEvent::Kind::kWaitAny: return "wait_any";
+    case ExecEvent::Kind::kAssign: return "assign";
+    case ExecEvent::Kind::kBranch: return "branch";
+    case ExecEvent::Kind::kAssert: return "assert";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Trace::to_text() const {
+  const support::Interner& names = program_->interner();
+  std::ostringstream os;
+  for (const TraceEvent& te : events_) {
+    const ExecEvent& e = te.ev;
+    os << kind_token(e.kind) << " t=" << e.thread << " op=" << e.op_index;
+    switch (e.kind) {
+      case ExecEvent::Kind::kSend:
+        os << " src=" << e.src << " dst=" << e.dst
+           << " expr=" << expr_to_text(e.expr, names) << " uid=" << e.uid
+           << " value=" << e.value;
+        break;
+      case ExecEvent::Kind::kRecv:
+        os << " ep=" << e.dst << " var=" << names.spelling(e.var)
+           << " slot=" << e.var_slot << " uid=" << e.uid << " value=" << e.value;
+        break;
+      case ExecEvent::Kind::kRecvIssue:
+        os << " ep=" << e.dst << " var=" << names.spelling(e.var)
+           << " slot=" << e.var_slot << " req=" << e.req;
+        break;
+      case ExecEvent::Kind::kWait:
+        os << " req=" << e.req << " issue=" << e.issue_op_index << " uid=" << e.uid
+           << " value=" << e.value;
+        break;
+      case ExecEvent::Kind::kTest:
+        os << " req=" << e.req << " issue=" << e.issue_op_index
+           << " var=" << names.spelling(e.var) << " slot=" << e.var_slot
+           << " ep=" << e.dst << " outcome=" << (e.outcome ? 1 : 0);
+        break;
+      case ExecEvent::Kind::kWaitAny: {
+        os << " req=" << e.req << " issue=" << e.issue_op_index
+           << " var=" << names.spelling(e.var) << " slot=" << e.var_slot
+           << " uid=" << e.uid << " value=" << e.value
+           << " winner=" << e.winner_index << " losers=";
+        for (std::size_t k = 0; k < e.loser_issue_ops.size(); ++k) {
+          if (k != 0) os << ",";
+          os << e.loser_issue_ops[k];
+        }
+        if (e.loser_issue_ops.empty()) os << "-";
+        break;
+      }
+      case ExecEvent::Kind::kAssign:
+        os << " var=" << names.spelling(e.var) << " slot=" << e.var_slot
+           << " expr=" << expr_to_text(e.expr, names) << " value=" << e.value;
+        break;
+      case ExecEvent::Kind::kBranch:
+      case ExecEvent::Kind::kAssert:
+        os << " lhs=" << expr_to_text(e.cond.lhs, names)
+           << " rel=" << rel_token(e.cond.rel)
+           << " rhs=" << expr_to_text(e.cond.rhs, names)
+           << " outcome=" << (e.outcome ? 1 : 0);
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Trace Trace::from_text(const mcapi::Program& program, const std::string& text) {
+  Trace trace(program);
+  // The interner is logically part of the program's identity; deserializing
+  // re-interns spellings so symbols resolve against the same table.
+  support::Interner& names = const_cast<mcapi::Program&>(program).interner();
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    std::map<std::string, std::string> kv;
+    std::string token;
+    while (ls >> token) {
+      const auto pos = token.find('=');
+      MCSYM_ASSERT_MSG(pos != std::string::npos, "malformed trace token");
+      kv[token.substr(0, pos)] = token.substr(pos + 1);
+    }
+    auto geti = [&kv](const char* key) {
+      const auto it = kv.find(key);
+      MCSYM_ASSERT_MSG(it != kv.end(), "missing trace field");
+      return std::stoll(it->second);
+    };
+    ExecEvent e;
+    e.thread = static_cast<mcapi::ThreadRef>(geti("t"));
+    e.op_index = static_cast<std::uint32_t>(geti("op"));
+    if (kind == "send") {
+      e.kind = ExecEvent::Kind::kSend;
+      e.src = static_cast<mcapi::EndpointRef>(geti("src"));
+      e.dst = static_cast<mcapi::EndpointRef>(geti("dst"));
+      e.expr = expr_from_text(kv.at("expr"), names);
+      e.uid = static_cast<mcapi::SendUid>(geti("uid"));
+      e.value = geti("value");
+    } else if (kind == "recv") {
+      e.kind = ExecEvent::Kind::kRecv;
+      e.dst = static_cast<mcapi::EndpointRef>(geti("ep"));
+      e.var = names.intern(kv.at("var"));
+      e.var_slot = static_cast<mcapi::LocalSlot>(geti("slot"));
+      e.uid = static_cast<mcapi::SendUid>(geti("uid"));
+      e.value = geti("value");
+    } else if (kind == "recv_i") {
+      e.kind = ExecEvent::Kind::kRecvIssue;
+      e.dst = static_cast<mcapi::EndpointRef>(geti("ep"));
+      e.var = names.intern(kv.at("var"));
+      e.var_slot = static_cast<mcapi::LocalSlot>(geti("slot"));
+      e.req = static_cast<std::uint32_t>(geti("req"));
+    } else if (kind == "wait") {
+      e.kind = ExecEvent::Kind::kWait;
+      e.req = static_cast<std::uint32_t>(geti("req"));
+      e.issue_op_index = static_cast<std::uint32_t>(geti("issue"));
+      e.uid = static_cast<mcapi::SendUid>(geti("uid"));
+      e.value = geti("value");
+    } else if (kind == "wait_any") {
+      e.kind = ExecEvent::Kind::kWaitAny;
+      e.req = static_cast<std::uint32_t>(geti("req"));
+      e.issue_op_index = static_cast<std::uint32_t>(geti("issue"));
+      e.var = names.intern(kv.at("var"));
+      e.var_slot = static_cast<mcapi::LocalSlot>(geti("slot"));
+      e.uid = static_cast<mcapi::SendUid>(geti("uid"));
+      e.value = geti("value");
+      e.winner_index = static_cast<std::uint32_t>(geti("winner"));
+      const std::string losers = kv.at("losers");
+      if (losers != "-") {
+        std::size_t start = 0;
+        while (start <= losers.size()) {
+          std::size_t comma = losers.find(',', start);
+          if (comma == std::string::npos) comma = losers.size();
+          e.loser_issue_ops.push_back(
+              static_cast<std::uint32_t>(std::stoul(losers.substr(start, comma - start))));
+          start = comma + 1;
+        }
+      }
+    } else if (kind == "test") {
+      e.kind = ExecEvent::Kind::kTest;
+      e.req = static_cast<std::uint32_t>(geti("req"));
+      e.issue_op_index = static_cast<std::uint32_t>(geti("issue"));
+      e.var = names.intern(kv.at("var"));
+      e.var_slot = static_cast<mcapi::LocalSlot>(geti("slot"));
+      e.dst = static_cast<mcapi::EndpointRef>(geti("ep"));
+      e.outcome = geti("outcome") != 0;
+      e.value = e.outcome ? 1 : 0;
+    } else if (kind == "assign") {
+      e.kind = ExecEvent::Kind::kAssign;
+      e.var = names.intern(kv.at("var"));
+      e.var_slot = static_cast<mcapi::LocalSlot>(geti("slot"));
+      e.expr = expr_from_text(kv.at("expr"), names);
+      e.value = geti("value");
+    } else if (kind == "branch" || kind == "assert") {
+      e.kind = kind == "branch" ? ExecEvent::Kind::kBranch : ExecEvent::Kind::kAssert;
+      e.cond.lhs = expr_from_text(kv.at("lhs"), names);
+      e.cond.rel = rel_from_token(kv.at("rel"));
+      e.cond.rhs = expr_from_text(kv.at("rhs"), names);
+      e.outcome = geti("outcome") != 0;
+    } else {
+      MCSYM_UNREACHABLE("unknown trace event kind");
+    }
+    trace.append(e);
+  }
+  return trace;
+}
+
+}  // namespace mcsym::trace

@@ -1,0 +1,176 @@
+// Tests for the MCAPI-style C API facade: status discipline, address space,
+// and end-to-end equivalence with the builder DSL on the paper's example.
+#include <gtest/gtest.h>
+
+#include "check/symbolic_checker.hpp"
+#include "check/workloads.hpp"
+#include "mcapi/capi.hpp"
+#include "mcapi/executor.hpp"
+#include "trace/trace.hpp"
+
+namespace mcsym::mcapi::capi {
+namespace {
+
+using S = mcapi_status_t;
+
+TEST(CapiTest, InitializeOncePerNode) {
+  VirtualTarget target;
+  S status;
+  NodeSession* a = target.initialize(0, 0, &status);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(status, S::MCAPI_SUCCESS);
+  NodeSession* again = target.initialize(0, 0, &status);
+  EXPECT_EQ(again, nullptr);
+  EXPECT_EQ(status, S::MCAPI_ERR_NODE_INITIALIZED);
+}
+
+TEST(CapiTest, WrongDomainRejected) {
+  VirtualTarget target(/*domain=*/1);
+  S status;
+  EXPECT_EQ(target.initialize(9, 0, &status), nullptr);
+  EXPECT_EQ(status, S::MCAPI_ERR_PARAMETER);
+}
+
+TEST(CapiTest, EndpointCreateAndGet) {
+  VirtualTarget target;
+  S status;
+  NodeSession* n0 = target.initialize(0, 0, &status);
+  NodeSession* n1 = target.initialize(0, 1, &status);
+  const mcapi_endpoint_t e0 = n0->endpoint_create(5, &status);
+  EXPECT_EQ(status, S::MCAPI_SUCCESS);
+  EXPECT_TRUE(e0.valid());
+
+  // Duplicate port on the same node.
+  (void)n0->endpoint_create(5, &status);
+  EXPECT_EQ(status, S::MCAPI_ERR_ENDP_EXISTS);
+
+  // The other node can address it; unknown ports cannot be resolved.
+  const mcapi_endpoint_t seen = n1->endpoint_get(0, 0, 5, &status);
+  EXPECT_EQ(status, S::MCAPI_SUCCESS);
+  EXPECT_EQ(seen.ref, e0.ref);
+  (void)n1->endpoint_get(0, 0, 99, &status);
+  EXPECT_EQ(status, S::MCAPI_ERR_PORT_INVALID);
+}
+
+TEST(CapiTest, SendOwnershipEnforced) {
+  VirtualTarget target;
+  S status;
+  NodeSession* n0 = target.initialize(0, 0, &status);
+  NodeSession* n1 = target.initialize(0, 1, &status);
+  const mcapi_endpoint_t e0 = n0->endpoint_create(0, &status);
+  const mcapi_endpoint_t e1 = n1->endpoint_create(0, &status);
+
+  n1->msg_send(e0, e1, 7, 0, &status);  // n1 does not own e0
+  EXPECT_EQ(status, S::MCAPI_ERR_ENDP_NOTOWNER);
+  n1->msg_send(e1, e0, 7, 0, &status);
+  EXPECT_EQ(status, S::MCAPI_SUCCESS);
+  n0->msg_recv(e1, "x", &status);  // n0 does not own e1
+  EXPECT_EQ(status, S::MCAPI_ERR_ENDP_NOTOWNER);
+  n0->msg_recv(e0, "x", &status);
+  EXPECT_EQ(status, S::MCAPI_SUCCESS);
+}
+
+TEST(CapiTest, RequestLifecycle) {
+  VirtualTarget target;
+  S status;
+  NodeSession* n0 = target.initialize(0, 0, &status);
+  const mcapi_endpoint_t e0 = n0->endpoint_create(0, &status);
+
+  mcapi_request_t req;
+  n0->wait(&req, &status);  // never issued
+  EXPECT_EQ(status, S::MCAPI_ERR_REQUEST_INVALID);
+
+  n0->msg_recv_i(e0, "x", &req, &status);
+  ASSERT_EQ(status, S::MCAPI_SUCCESS);
+  ASSERT_TRUE(req.valid());
+  mcapi_request_t copy = req;
+  n0->wait(&req, &status);
+  EXPECT_EQ(status, S::MCAPI_SUCCESS);
+  EXPECT_FALSE(req.valid());  // handle consumed
+  n0->wait(&copy, &status);   // double wait on the same request
+  EXPECT_EQ(status, S::MCAPI_ERR_REQUEST_INVALID);
+}
+
+TEST(CapiTest, NullRequestIsParameterError) {
+  VirtualTarget target;
+  S status;
+  NodeSession* n0 = target.initialize(0, 0, &status);
+  const mcapi_endpoint_t e0 = n0->endpoint_create(0, &status);
+  n0->msg_recv_i(e0, "x", nullptr, &status);
+  EXPECT_EQ(status, S::MCAPI_ERR_PARAMETER);
+}
+
+TEST(CapiTest, StatusNamesReadable) {
+  EXPECT_STREQ(mcapi_status_name(S::MCAPI_SUCCESS), "MCAPI_SUCCESS");
+  EXPECT_STREQ(mcapi_status_name(S::MCAPI_ERR_ENDP_NOTOWNER),
+               "MCAPI_ERR_ENDP_NOTOWNER");
+}
+
+/// The paper's Figure 1, written against the C-style API, must produce a
+/// program equivalent to the builder version: same 2-matching enumeration.
+TEST(CapiTest, Figure1ThroughCapiMatchesBuilderVersion) {
+  VirtualTarget target;
+  S status;
+  NodeSession* t0 = target.initialize(0, 0, &status);
+  NodeSession* t1 = target.initialize(0, 1, &status);
+  NodeSession* t2 = target.initialize(0, 2, &status);
+
+  const mcapi_endpoint_t e0 = t0->endpoint_create(0, &status);
+  const mcapi_endpoint_t e1 = t1->endpoint_create(0, &status);
+  const mcapi_endpoint_t e2 = t2->endpoint_create(0, &status);
+
+  t0->msg_recv(e0, "A", &status);
+  ASSERT_EQ(status, S::MCAPI_SUCCESS);
+  t0->msg_recv(e0, "B", &status);
+  t1->msg_recv(e1, "C", &status);
+  t1->msg_send(e1, t1->endpoint_get(0, 0, 0, &status), 10, 0, &status);
+  t2->msg_send(e2, e0, 20, 0, &status);
+  t2->msg_send(e2, e1, 30, 0, &status);
+  ASSERT_EQ(status, S::MCAPI_SUCCESS);
+
+  const Program program = target.finalize();
+  ASSERT_TRUE(program.finalized());
+  EXPECT_EQ(program.num_threads(), 3u);
+  EXPECT_EQ(program.num_endpoints(), 3u);
+
+  System sys(program);
+  trace::Trace tr(program);
+  trace::Recorder rec(tr);
+  RandomScheduler sched(1);
+  ASSERT_TRUE(run(sys, sched, &rec).completed());
+
+  check::SymbolicChecker checker(tr);
+  EXPECT_EQ(checker.enumerate_matchings().matchings.size(), 2u);
+}
+
+/// Non-blocking gather through the C API runs and analyzes end to end.
+TEST(CapiTest, NonblockingThroughCapi) {
+  VirtualTarget target;
+  S status;
+  NodeSession* rx = target.initialize(0, 0, &status);
+  NodeSession* tx = target.initialize(0, 1, &status);
+  const mcapi_endpoint_t in = rx->endpoint_create(0, &status);
+  const mcapi_endpoint_t out = tx->endpoint_create(0, &status);
+
+  mcapi_request_t r0;
+  mcapi_request_t r1;
+  rx->msg_recv_i(in, "x0", &r0, &status);
+  rx->msg_recv_i(in, "x1", &r1, &status);
+  rx->wait(&r0, &status);
+  rx->wait(&r1, &status);
+  tx->msg_send(out, in, 1, 0, &status);
+  tx->msg_send(out, in, 2, 0, &status);
+
+  const Program program = target.finalize();
+  System sys(program);
+  trace::Trace tr(program);
+  trace::Recorder rec(tr);
+  RoundRobinScheduler sched;
+  ASSERT_TRUE(run(sys, sched, &rec).completed());
+  check::SymbolicChecker checker(tr);
+  // Single FIFO channel: exactly one feasible matching.
+  EXPECT_EQ(checker.enumerate_matchings().matchings.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mcsym::mcapi::capi

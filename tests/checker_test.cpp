@@ -1,0 +1,230 @@
+// Tests for the end-to-end checkers: symbolic, explicit-state, and the two
+// baseline re-implementations, plus the Figure-4 behavior comparison.
+#include <gtest/gtest.h>
+
+#include "check/baselines.hpp"
+#include "check/compare.hpp"
+#include "check/explicit_checker.hpp"
+#include "check/symbolic_checker.hpp"
+#include "check/workloads.hpp"
+#include "mcapi/executor.hpp"
+#include "trace/trace.hpp"
+
+namespace mcsym::check {
+namespace {
+
+namespace wl = workloads;
+
+trace::Trace record(const mcapi::Program& p, std::uint64_t seed = 1,
+                    bool require_complete = true) {
+  mcapi::System sys(p);
+  trace::Trace tr(p);
+  trace::Recorder rec(tr);
+  mcapi::RandomScheduler sched(seed);
+  const auto r = mcapi::run(sys, sched, &rec);
+  if (require_complete) {
+    EXPECT_TRUE(r.completed());
+  }
+  return tr;
+}
+
+// --- SymbolicChecker ------------------------------------------------------
+
+TEST(SymbolicCheckerTest, Figure1PropertyViolable) {
+  const auto [program, properties] = wl::figure1_with_property();
+  const trace::Trace tr = record(program, 42, false);
+  SymbolicChecker checker(tr);
+  const SymbolicVerdict v = checker.check(properties);
+  EXPECT_TRUE(v.violation_possible());
+  ASSERT_TRUE(v.witness.has_value());
+  EXPECT_FALSE(v.witness->violated.empty());
+  EXPECT_GT(v.sat_vars, 0u);
+}
+
+TEST(SymbolicCheckerTest, PipelineVerified) {
+  const mcapi::Program p = wl::pipeline(4, 2);
+  const trace::Trace tr = record(p);
+  SymbolicChecker checker(tr);
+  const SymbolicVerdict v = checker.check();
+  EXPECT_EQ(v.result, smt::SolveResult::kUnsat);
+  EXPECT_FALSE(v.witness.has_value());
+}
+
+TEST(SymbolicCheckerTest, PreciseMatchGenGivesSameVerdict) {
+  const auto [program, properties] = wl::figure1_with_property();
+  const trace::Trace tr = record(program, 42, false);
+  SymbolicOptions opts;
+  opts.match_gen = MatchGen::kPrecise;
+  SymbolicChecker checker(tr, opts);
+  EXPECT_TRUE(checker.check(properties).violation_possible());
+  // The precise candidate sets must be covered by the over-approximation.
+  SymbolicChecker over(tr);
+  EXPECT_TRUE(over.match_set().covers(checker.match_set()));
+}
+
+TEST(SymbolicCheckerTest, EnumerationMatchesGroundTruth) {
+  const mcapi::Program p = wl::figure1();
+  const trace::Trace tr = record(p);
+  SymbolicChecker checker(tr);
+  const SymbolicEnumeration e = checker.enumerate_matchings();
+  EXPECT_EQ(e.matchings.size(), 2u);
+  EXPECT_FALSE(e.truncated);
+  EXPECT_EQ(e.solver_calls, 3u);  // 2 SAT + final UNSAT
+}
+
+TEST(SymbolicCheckerTest, EnumerationCapRespected) {
+  const mcapi::Program p = wl::message_race(3, 1);
+  const trace::Trace tr = record(p);
+  SymbolicOptions opts;
+  opts.max_matchings = 2;
+  SymbolicChecker checker(tr, opts);
+  const SymbolicEnumeration e = checker.enumerate_matchings();
+  EXPECT_TRUE(e.truncated);
+  EXPECT_EQ(e.matchings.size(), 2u);
+}
+
+// --- ExplicitChecker ------------------------------------------------------
+
+TEST(ExplicitCheckerTest, FindsScatterGatherViolation) {
+  const mcapi::Program p = wl::scatter_gather(2);
+  ExplicitChecker checker(p);
+  const ExplicitResult r = checker.run();
+  EXPECT_TRUE(r.violation_found);
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_FALSE(r.counterexample.empty());
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(ExplicitCheckerTest, CounterexampleReplaysToViolation) {
+  const mcapi::Program p = wl::scatter_gather(2);
+  ExplicitChecker checker(p);
+  const ExplicitResult r = checker.run();
+  ASSERT_TRUE(r.violation_found);
+
+  mcapi::System sys(p);
+  mcapi::ReplayScheduler replay(r.counterexample);
+  const mcapi::RunResult rr =
+      mcapi::run(sys, replay, nullptr, r.counterexample.size() + 1);
+  EXPECT_EQ(rr.outcome, mcapi::RunResult::Outcome::kViolation);
+}
+
+TEST(ExplicitCheckerTest, PipelineCleanNoViolation) {
+  const mcapi::Program p = wl::pipeline(3, 2);
+  ExplicitChecker checker(p);
+  const ExplicitResult r = checker.run();
+  EXPECT_FALSE(r.violation_found);
+  EXPECT_FALSE(r.deadlock_found);
+  EXPECT_GT(r.states_expanded, 0u);
+  EXPECT_GT(r.terminal_states, 0u);
+}
+
+TEST(ExplicitCheckerTest, DetectsDeadlock) {
+  mcapi::Program p;
+  auto a = p.add_thread("a");
+  auto b = p.add_thread("b");
+  const auto ea = p.add_endpoint("ea", a.ref());
+  const auto eb = p.add_endpoint("eb", b.ref());
+  // Classic cyclic wait: both receive before sending.
+  a.recv(ea, "x").send(ea, eb, 1);
+  b.recv(eb, "y").send(eb, ea, 2);
+  p.finalize();
+  ExplicitChecker checker(p);
+  const ExplicitResult r = checker.run();
+  EXPECT_TRUE(r.deadlock_found);
+  EXPECT_FALSE(r.violation_found);
+}
+
+TEST(ExplicitCheckerTest, StateBudgetTruncates) {
+  const mcapi::Program p = wl::message_race(3, 2);
+  ExplicitOptions opts;
+  opts.max_states = 10;
+  ExplicitChecker checker(p, opts);
+  const ExplicitResult r = checker.run();
+  EXPECT_TRUE(r.truncated);
+}
+
+TEST(ExplicitCheckerTest, MccModeExploresFewerBehaviors) {
+  const mcapi::Program p = wl::figure1();
+  const trace::Trace tr = record(p);
+  ExplicitOptions opts;
+  opts.collect_matchings = true;
+
+  ExplicitChecker full(p, opts);
+  const auto full_matchings = full.enumerate_against(tr).matchings;
+  MccChecker mcc(p, opts);
+  const auto mcc_matchings = mcc.enumerate_against(tr).matchings;
+
+  EXPECT_EQ(full_matchings.size(), 2u);
+  EXPECT_EQ(mcc_matchings.size(), 1u);
+  for (const auto& m : mcc_matchings) {
+    EXPECT_TRUE(full_matchings.contains(m));
+  }
+}
+
+// --- Baselines -------------------------------------------------------------
+
+TEST(BaselineTest, DelayIgnorantMissesFigure1Bug) {
+  const auto [program, properties] = wl::figure1_with_property();
+  const trace::Trace tr = record(program, 42, false);
+
+  SymbolicChecker paper(tr);
+  EXPECT_TRUE(paper.check(properties).violation_possible());
+
+  DelayIgnorantChecker baseline(tr);
+  EXPECT_FALSE(baseline.check(properties).violation_possible())
+      << "the baseline should miss the delay-dependent bug";
+}
+
+TEST(BaselineTest, MccMissesFigure1BugExplicitly) {
+  const auto [program, properties] = wl::figure1_with_property();
+  (void)properties;  // the in-program assert carries the property
+  MccChecker mcc(program);
+  const ExplicitResult r = mcc.run();
+  EXPECT_FALSE(r.violation_found)
+      << "MCC's delay-free world cannot reach the 4b pairing";
+
+  ExplicitChecker full(program);
+  EXPECT_TRUE(full.run().violation_found)
+      << "with delay nondeterminism the bug is reachable";
+}
+
+// --- compare_behaviors ------------------------------------------------------
+
+TEST(CompareTest, Figure1Comparison) {
+  const mcapi::Program p = wl::figure1();
+  const trace::Trace tr = record(p);
+  const BehaviorComparison cmp = compare_behaviors(p, tr);
+  EXPECT_EQ(cmp.ground_truth.size(), 2u);
+  EXPECT_TRUE(cmp.symbolic_exact());
+  EXPECT_EQ(cmp.mcc.size(), 1u);
+  EXPECT_EQ(cmp.delay_ignorant.size(), 1u);
+  EXPECT_EQ(cmp.missed_by_mcc(), 1u);
+  EXPECT_EQ(cmp.missed_by_delay_ignorant(), 1u);
+  const std::string s = cmp.summary(tr);
+  EXPECT_NE(s.find("unseen by MCC"), std::string::npos);
+}
+
+TEST(CompareTest, RelayRaceClosedForms) {
+  const mcapi::Program p = wl::relay_race(2);
+  const trace::Trace tr = record(p, 5);
+  const BehaviorComparison cmp = compare_behaviors(p, tr);
+  EXPECT_EQ(cmp.ground_truth.size(), 24u);      // (2*2)!
+  EXPECT_TRUE(cmp.symbolic_exact());
+  EXPECT_EQ(cmp.delay_ignorant.size(), 6u);     // (2*2)!/2^2
+  EXPECT_EQ(cmp.mcc.size(), 6u);
+}
+
+TEST(CompareTest, NoCausalityNoGap) {
+  // Independent senders: every arrival order is an issue order, so the
+  // baselines lose nothing (the baselines are wrong only under causality).
+  const mcapi::Program p = wl::message_race(2, 1);
+  const trace::Trace tr = record(p);
+  const BehaviorComparison cmp = compare_behaviors(p, tr);
+  EXPECT_EQ(cmp.ground_truth.size(), 2u);
+  EXPECT_EQ(cmp.mcc.size(), 2u);
+  EXPECT_EQ(cmp.delay_ignorant.size(), 2u);
+  EXPECT_TRUE(cmp.symbolic_exact());
+}
+
+}  // namespace
+}  // namespace mcsym::check

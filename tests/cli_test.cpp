@@ -1,0 +1,237 @@
+// End-to-end tests of the `mcsym` command-line driver: every subcommand is
+// exercised against the shipped .mcp examples, checking stdout content and
+// exit codes (0 = verified/ok, 1 = violation reachable, 2 = input error).
+//
+// The binary path and example directory come in through compile definitions
+// so the tests run from any working directory.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#ifndef MCSYM_CLI_PATH
+#error "MCSYM_CLI_PATH must be defined by the build"
+#endif
+#ifndef MCSYM_EXAMPLES_DIR
+#error "MCSYM_EXAMPLES_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string command = std::string(MCSYM_CLI_PATH) + " " + args + " 2>&1";
+  CliResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  std::size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string figure1() { return std::string(MCSYM_EXAMPLES_DIR) + "/figure1.mcp"; }
+
+TEST(CliTest, UsageOnNoArguments) {
+  const CliResult r = run_cli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommand) {
+  const CliResult r = run_cli("frobnicate " + figure1());
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, MissingFile) {
+  const CliResult r = run_cli("run /nonexistent/path.mcp");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos);
+}
+
+TEST(CliTest, RunReportsOutcomeAndEventCounts) {
+  const CliResult r = run_cli("run " + figure1());
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("outcome: halted"), std::string::npos);
+  EXPECT_NE(r.output.find("3 sends"), std::string::npos);
+  EXPECT_NE(r.output.find("3 receives"), std::string::npos);
+}
+
+TEST(CliTest, TraceEmitsOneEventPerLine) {
+  const CliResult r = run_cli("trace " + figure1());
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("send"), std::string::npos);
+  EXPECT_NE(r.output.find("recv"), std::string::npos);
+  // 6 communication events in Figure 1.
+  int lines = 0;
+  for (const char c : r.output) lines += c == '\n';
+  EXPECT_EQ(lines, 6);
+}
+
+TEST(CliTest, CheckFindsTheFigure4bViolation) {
+  const CliResult r = run_cli("check " + figure1() + " --witness --replay");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("SAT: a property violation is reachable"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("A saw send(Y) first"), std::string::npos);
+  EXPECT_NE(r.output.find("replay: witness realized"), std::string::npos);
+}
+
+TEST(CliTest, DelayIgnorantBaselineMissesTheViolation) {
+  const CliResult r = run_cli("check " + figure1() + " --delay-ignorant");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("UNSAT"), std::string::npos);
+}
+
+TEST(CliTest, PreciseMatchGenerationAgrees) {
+  const CliResult r = run_cli("check " + figure1() + " --precise");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+}
+
+TEST(CliTest, ExtraPropertyFlagIsConjoined) {
+  // t1.C is always 30, so this extra property is violated in every
+  // execution; the verdict must stay SAT even with --delay-ignorant.
+  const CliResult r = run_cli("check " + figure1() +
+                              " --delay-ignorant --property 't1.C == 0'");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+}
+
+TEST(CliTest, BadPropertyFlagIsRejected) {
+  const CliResult r = run_cli("check " + figure1() + " --property 'tX.A == 1'");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("bad --property"), std::string::npos);
+}
+
+TEST(CliTest, AssertPropsModeFindsCorrectExecution) {
+  // Some execution satisfies A == 20 (the Figure-4a pairing), so asserting
+  // the property instead of negating it is SAT as well.
+  const CliResult r = run_cli("check " + figure1() + " --assert-props");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("SAT: a fully correct execution exists"),
+            std::string::npos);
+}
+
+TEST(CliTest, EnumerateAgreesWithExplicitAndExposesMccGap) {
+  const CliResult r = run_cli("enumerate " + figure1() + " --explicit --mcc");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("2 feasible pairing(s)"), std::string::npos);
+  EXPECT_NE(r.output.find("agrees"), std::string::npos);
+  EXPECT_NE(r.output.find("misses 1 behavior(s)"), std::string::npos);
+}
+
+TEST(CliTest, SmtDumpIsWellFormed) {
+  const CliResult r = run_cli("smt " + figure1());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("(set-logic QF_IDL)"), std::string::npos);
+  EXPECT_NE(r.output.find("(declare-fun"), std::string::npos);
+  EXPECT_NE(r.output.find("(assert"), std::string::npos);
+  EXPECT_NE(r.output.find("(check-sat)"), std::string::npos);
+}
+
+TEST(CliTest, FmtIsIdempotent) {
+  const std::string tmp1 = testing::TempDir() + "/mcsym_fmt1.mcp";
+  const std::string tmp2 = testing::TempDir() + "/mcsym_fmt2.mcp";
+  const CliResult first = run_cli("fmt " + figure1() + " -o " + tmp1);
+  ASSERT_EQ(first.exit_code, 0) << first.output;
+  const CliResult second = run_cli("fmt " + tmp1 + " -o " + tmp2);
+  ASSERT_EQ(second.exit_code, 0) << second.output;
+
+  std::ifstream f1(tmp1), f2(tmp2);
+  const std::string c1((std::istreambuf_iterator<char>(f1)),
+                       std::istreambuf_iterator<char>());
+  const std::string c2((std::istreambuf_iterator<char>(f2)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_FALSE(c1.empty());
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(CliTest, ParseErrorsCarryLineNumbers) {
+  const std::string bad = testing::TempDir() + "/mcsym_bad.mcp";
+  {
+    std::ofstream out(bad);
+    out << "thread t\n  recv nowhere -> x\n";
+  }
+  const CliResult r = run_cli("check " + bad);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("line 2"), std::string::npos);
+  EXPECT_NE(r.output.find("unknown endpoint"), std::string::npos);
+}
+
+TEST(CliTest, OutputFileFlagWritesFile) {
+  const std::string tmp = testing::TempDir() + "/mcsym_trace.txt";
+  const CliResult r = run_cli("trace " + figure1() + " -o " + tmp);
+  EXPECT_EQ(r.exit_code, 0);
+  std::ifstream in(tmp);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_FALSE(first_line.empty());
+}
+
+TEST(CliTest, SelectServerVerdictFollowsTheTracedWinner) {
+  // Per-trace scope of the technique: the select property holds for every
+  // execution consistent with a trace where A won, and is refuted from a
+  // trace where B won.
+  const std::string file = std::string(MCSYM_EXAMPLES_DIR) + "/select_server.mcp";
+  const CliResult a_won = run_cli("check " + file + " --seed 1");
+  EXPECT_EQ(a_won.exit_code, 0) << a_won.output;
+  const CliResult b_won = run_cli("check " + file + " --seed 2");
+  EXPECT_EQ(b_won.exit_code, 1) << b_won.output;
+
+  const CliResult e = run_cli("enumerate " + file + " --seed 2 --explicit");
+  EXPECT_EQ(e.exit_code, 0);
+  EXPECT_NE(e.output.find("agrees"), std::string::npos);
+}
+
+TEST(CliTest, DiagnoseVerbExplainsPairings) {
+  const CliResult feasible = run_cli(
+      "diagnose " + figure1() + " --pair 't1:send#1 -> t0:recv#0'");
+  EXPECT_EQ(feasible.exit_code, 0) << feasible.output;
+  EXPECT_NE(feasible.output.find("feasible"), std::string::npos);
+
+  const CliResult doubled = run_cli(
+      "diagnose " + figure1() +
+      " --pair 't2:send#0 -> t0:recv#0' --pair 't2:send#0 -> t0:recv#1'");
+  EXPECT_EQ(doubled.exit_code, 1) << doubled.output;
+  EXPECT_NE(doubled.output.find("uniqueness"), std::string::npos);
+
+  const CliResult bad = run_cli("diagnose " + figure1() + " --pair 'nonsense'");
+  EXPECT_EQ(bad.exit_code, 2);
+
+  const CliResult none = run_cli("diagnose " + figure1());
+  EXPECT_EQ(none.exit_code, 2);
+  EXPECT_NE(none.output.find("at least one --pair"), std::string::npos);
+}
+
+TEST(CliTest, SolveRunsOnDumpedProblems) {
+  const std::string tmp = testing::TempDir() + "/mcsym_dump.smt2";
+  const CliResult dump = run_cli("smt " + figure1() + " -o " + tmp);
+  ASSERT_EQ(dump.exit_code, 0) << dump.output;
+  const CliResult solve = run_cli("solve " + tmp);
+  EXPECT_EQ(solve.exit_code, 1) << solve.output;  // SAT (property negated)
+  EXPECT_NE(solve.output.find("sat"), std::string::npos);
+  EXPECT_NE(solve.output.find("clk_"), std::string::npos) << "model echoed";
+}
+
+TEST(CliTest, SeedSelectsDifferentSchedules) {
+  // Different seeds may record different traces, but verdicts must agree —
+  // the encoding quantifies over all executions consistent with the trace.
+  const CliResult a = run_cli("check " + figure1() + " --seed 1");
+  const CliResult b = run_cli("check " + figure1() + " --seed 99");
+  EXPECT_EQ(a.exit_code, 1);
+  EXPECT_EQ(b.exit_code, 1);
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Witness replay soundness: every model the symbolic engine produces must
+// correspond to a schedule the real runtime can execute, reproducing the
+// same matching (and the violation when one was claimed).
+#include <gtest/gtest.h>
+
+#include "check/random_program.hpp"
+#include "check/symbolic_checker.hpp"
+#include "check/witness_replay.hpp"
+#include "check/workloads.hpp"
+#include "encode/encoder.hpp"
+#include "encode/witness.hpp"
+#include "match/generators.hpp"
+#include "mcapi/executor.hpp"
+#include "smt/solver.hpp"
+#include "trace/trace.hpp"
+
+namespace mcsym::check {
+namespace {
+
+namespace wl = workloads;
+
+trace::Trace record(const mcapi::Program& p, std::uint64_t seed = 1,
+                    bool require_complete = true) {
+  mcapi::System sys(p);
+  trace::Trace tr(p);
+  trace::Recorder rec(tr);
+  mcapi::RandomScheduler sched(seed);
+  const auto r = mcapi::run(sys, sched, &rec);
+  if (require_complete) {
+    EXPECT_TRUE(r.completed());
+  }
+  return tr;
+}
+
+TEST(ReplayTest, Figure1ViolationWitnessReplays) {
+  const auto [program, properties] = wl::figure1_with_property();
+  const trace::Trace tr = record(program, 42, false);
+  SymbolicChecker checker(tr);
+  const SymbolicVerdict v = checker.check(properties);
+  ASSERT_TRUE(v.violation_possible());
+  ASSERT_TRUE(v.witness.has_value());
+
+  const auto replayed = schedule_from_witness(program, tr, *v.witness);
+  ASSERT_TRUE(replayed.has_value()) << "witness schedule diverged from runtime";
+  // The in-program assertion fires on replay: the bug is real.
+  EXPECT_TRUE(replayed->violation);
+  EXPECT_FALSE(replayed->script.empty());
+}
+
+TEST(ReplayTest, ScatterGatherWitnessReplays) {
+  const mcapi::Program p = wl::scatter_gather(3);
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    mcapi::System sys(p);
+    trace::Trace tr(p);
+    trace::Recorder rec(tr);
+    mcapi::RandomScheduler sched(seed);
+    if (!mcapi::run(sys, sched, &rec).completed()) continue;
+    SymbolicChecker checker(tr);
+    const SymbolicVerdict v = checker.check();
+    ASSERT_TRUE(v.violation_possible());
+    const auto replayed = schedule_from_witness(p, tr, *v.witness);
+    ASSERT_TRUE(replayed.has_value());
+    EXPECT_TRUE(replayed->violation);
+    return;
+  }
+  FAIL() << "no completing run";
+}
+
+// Replay every matching produced during enumeration (not just the first
+// model) across a grab bag of workloads, including non-blocking ones.
+class ReplayEnumerationTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(ReplayEnumerationTest, EveryEnumeratedModelReplays) {
+  const auto [which, seed] = GetParam();
+  mcapi::Program program;
+  switch (which) {
+    case 0: program = wl::figure1(); break;
+    case 1: program = wl::message_race(2, 2); break;
+    case 2: program = wl::nonblocking_gather(3); break;
+    case 3: program = wl::nonblocking_window(); break;
+    case 4: program = wl::reversed_waits(); break;
+    default: {
+      RandomProgramOptions opts;
+      opts.allow_nonblocking = true;
+      program = random_program(seed, opts);
+      break;
+    }
+  }
+  trace::Trace tr(program);
+  {
+    mcapi::System sys(program);
+    trace::Recorder rec(tr);
+    mcapi::RandomScheduler sched(seed + 1);
+    if (!mcapi::run(sys, sched, &rec).completed()) {
+      GTEST_SKIP() << "recorded run did not complete (racy assert)";
+    }
+  }
+
+  const match::MatchSet set = match::generate_overapprox(tr);
+  smt::Solver solver;
+  encode::EncodeOptions opts;
+  opts.property_mode = encode::PropertyMode::kIgnore;
+  encode::Encoder encoder(solver, tr, set, opts);
+  const encode::Encoding enc = encoder.encode();
+  const auto projection = enc.id_projection();
+
+  std::size_t models = 0;
+  while (solver.check() == smt::SolveResult::kSat) {
+    const encode::Witness w = encode::decode_witness(solver, enc, tr);
+    const auto replayed = schedule_from_witness(program, tr, w);
+    ASSERT_TRUE(replayed.has_value())
+        << "unsound model for workload " << which << " seed " << seed << ":\n"
+        << w.to_string(tr);
+    ++models;
+    solver.block_current_ints(projection);
+    ASSERT_LT(models, 200u);
+  }
+  EXPECT_GT(models, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ReplayEnumerationTest,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values<std::uint64_t>(3, 17, 59)));
+
+}  // namespace
+}  // namespace mcsym::check

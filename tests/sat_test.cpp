@@ -1,0 +1,301 @@
+// Unit and property tests for the CDCL SAT core.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "smt/sat_solver.hpp"
+#include "support/rng.hpp"
+
+namespace mcsym::smt {
+namespace {
+
+Lit pos(Var v) { return Lit::make(v, false); }
+Lit neg(Var v) { return Lit::make(v, true); }
+
+TEST(LitTest, EncodingRoundTrip) {
+  const Lit l = Lit::make(7, true);
+  EXPECT_EQ(l.var(), 7u);
+  EXPECT_TRUE(l.negated());
+  EXPECT_EQ((~l).var(), 7u);
+  EXPECT_FALSE((~l).negated());
+  EXPECT_EQ(~~l, l);
+}
+
+TEST(LitTest, DimacsString) {
+  EXPECT_EQ(pos(0).str(), "1");
+  EXPECT_EQ(neg(0).str(), "-1");
+}
+
+TEST(SatSolverTest, EmptyFormulaIsSat) {
+  SatSolver s;
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(SatSolverTest, SingleUnit) {
+  SatSolver s;
+  const Var x = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(x)}));
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_EQ(s.model_value(x), LBool::kTrue);
+}
+
+TEST(SatSolverTest, ContradictoryUnitsUnsat) {
+  SatSolver s;
+  const Var x = s.new_var();
+  EXPECT_TRUE(s.add_clause({pos(x)}));
+  EXPECT_FALSE(s.add_clause({neg(x)}));
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(SatSolverTest, TautologyDropped) {
+  SatSolver s;
+  const Var x = s.new_var();
+  EXPECT_TRUE(s.add_clause({pos(x), neg(x)}));
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(SatSolverTest, DuplicateLiteralsCollapse) {
+  SatSolver s;
+  const Var x = s.new_var();
+  EXPECT_TRUE(s.add_clause({pos(x), pos(x), pos(x)}));
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_EQ(s.model_value(x), LBool::kTrue);
+}
+
+TEST(SatSolverTest, ChainOfImplications) {
+  SatSolver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 50; ++i) v.push_back(s.new_var());
+  for (int i = 0; i + 1 < 50; ++i) {
+    ASSERT_TRUE(s.add_clause({neg(v[static_cast<std::size_t>(i)]),
+                              pos(v[static_cast<std::size_t>(i + 1)])}));
+  }
+  ASSERT_TRUE(s.add_clause({pos(v[0])}));
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(s.model_value(v[static_cast<std::size_t>(i)]), LBool::kTrue);
+  }
+}
+
+TEST(SatSolverTest, ChainWithFinalNegationUnsat) {
+  SatSolver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 30; ++i) v.push_back(s.new_var());
+  for (int i = 0; i + 1 < 30; ++i) {
+    ASSERT_TRUE(s.add_clause({neg(v[static_cast<std::size_t>(i)]),
+                              pos(v[static_cast<std::size_t>(i + 1)])}));
+  }
+  ASSERT_TRUE(s.add_clause({pos(v[0])}));
+  EXPECT_TRUE(s.add_clause({neg(v[29])}) == false || s.solve() == SolveResult::kUnsat);
+}
+
+TEST(SatSolverTest, XorChainSat) {
+  // x1 xor x2 xor ... parity constraints as CNF on small chains.
+  SatSolver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  // a xor b = c
+  ASSERT_TRUE(s.add_clause({neg(a), neg(b), neg(c)}));
+  ASSERT_TRUE(s.add_clause({pos(a), pos(b), neg(c)}));
+  ASSERT_TRUE(s.add_clause({pos(a), neg(b), pos(c)}));
+  ASSERT_TRUE(s.add_clause({neg(a), pos(b), pos(c)}));
+  ASSERT_TRUE(s.add_clause({pos(c)}));
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+  const bool av = s.model_value(a) == LBool::kTrue;
+  const bool bv = s.model_value(b) == LBool::kTrue;
+  EXPECT_NE(av, bv);  // a xor b must be true
+}
+
+// Pigeonhole principle: n+1 pigeons, n holes — classic UNSAT family.
+void add_pigeonhole(SatSolver& s, unsigned holes) {
+  const unsigned pigeons = holes + 1;
+  std::vector<std::vector<Var>> p(pigeons, std::vector<Var>(holes));
+  for (auto& row : p) {
+    for (auto& v : row) v = s.new_var();
+  }
+  for (unsigned i = 0; i < pigeons; ++i) {
+    std::vector<Lit> clause;
+    for (unsigned j = 0; j < holes; ++j) clause.push_back(pos(p[i][j]));
+    ASSERT_TRUE(s.add_clause(clause));
+  }
+  for (unsigned j = 0; j < holes; ++j) {
+    for (unsigned i = 0; i < pigeons; ++i) {
+      for (unsigned k = i + 1; k < pigeons; ++k) {
+        s.add_clause({neg(p[i][j]), neg(p[k][j])});
+      }
+    }
+  }
+}
+
+TEST(SatSolverTest, PigeonholeUnsat) {
+  for (unsigned holes : {2u, 3u, 4u, 5u}) {
+    SatSolver s;
+    add_pigeonhole(s, holes);
+    EXPECT_EQ(s.solve(), SolveResult::kUnsat) << "holes=" << holes;
+  }
+}
+
+TEST(SatSolverTest, PigeonholeExactFitSat) {
+  // n pigeons in n holes is satisfiable.
+  SatSolver s;
+  const unsigned n = 4;
+  std::vector<std::vector<Var>> p(n, std::vector<Var>(n));
+  for (auto& row : p) {
+    for (auto& v : row) v = s.new_var();
+  }
+  for (unsigned i = 0; i < n; ++i) {
+    std::vector<Lit> clause;
+    for (unsigned j = 0; j < n; ++j) clause.push_back(pos(p[i][j]));
+    ASSERT_TRUE(s.add_clause(clause));
+  }
+  for (unsigned j = 0; j < n; ++j) {
+    for (unsigned i = 0; i < n; ++i) {
+      for (unsigned k = i + 1; k < n; ++k) {
+        s.add_clause({neg(p[i][j]), neg(p[k][j])});
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+TEST(SatSolverTest, AssumptionsSatAndUnsat) {
+  SatSolver s;
+  const Var x = s.new_var();
+  const Var y = s.new_var();
+  ASSERT_TRUE(s.add_clause({neg(x), pos(y)}));  // x -> y
+  const std::vector<Lit> assume_x{pos(x)};
+  EXPECT_EQ(s.solve(assume_x), SolveResult::kSat);
+  EXPECT_EQ(s.model_value(y), LBool::kTrue);
+
+  ASSERT_TRUE(s.add_clause({neg(y)}));  // now y is false
+  EXPECT_EQ(s.solve(assume_x), SolveResult::kUnsat);
+  // Without the assumption the formula is still satisfiable (x false).
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_EQ(s.model_value(x), LBool::kFalse);
+}
+
+TEST(SatSolverTest, IncrementalAddAfterSolve) {
+  SatSolver s;
+  const Var x = s.new_var();
+  const Var y = s.new_var();
+  ASSERT_TRUE(s.add_clause({pos(x), pos(y)}));
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+  ASSERT_TRUE(s.add_clause({neg(x)}));
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_EQ(s.model_value(y), LBool::kTrue);
+  s.add_clause({neg(y)});
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(SatSolverTest, ConflictBudgetReturnsUnknown) {
+  SatSolver s;
+  add_pigeonhole(s, 6);  // hard enough to need > 1 conflict
+  s.set_conflict_budget(1);
+  EXPECT_EQ(s.solve(), SolveResult::kUnknown);
+  s.set_conflict_budget(0);
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(SatSolverTest, StatsAccumulate) {
+  SatSolver s;
+  add_pigeonhole(s, 4);
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 0u);
+  EXPECT_GT(s.stats().propagations, 0u);
+}
+
+// --- Randomized cross-check against brute force -------------------------
+
+struct RandomCnf {
+  unsigned num_vars;
+  std::vector<std::vector<int>> clauses;  // DIMACS-style signed vars (1-based)
+};
+
+RandomCnf make_random_cnf(std::uint64_t seed, unsigned num_vars, unsigned num_clauses) {
+  support::Rng rng(seed);
+  RandomCnf cnf;
+  cnf.num_vars = num_vars;
+  for (unsigned c = 0; c < num_clauses; ++c) {
+    std::vector<int> clause;
+    const unsigned width = 2 + static_cast<unsigned>(rng.below(2));  // 2..3
+    for (unsigned k = 0; k < width; ++k) {
+      const int v = 1 + static_cast<int>(rng.below(num_vars));
+      clause.push_back(rng.chance(1, 2) ? v : -v);
+    }
+    cnf.clauses.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+bool brute_force_sat(const RandomCnf& cnf) {
+  for (std::uint64_t bits = 0; bits < (1ull << cnf.num_vars); ++bits) {
+    bool all = true;
+    for (const auto& clause : cnf.clauses) {
+      bool sat = false;
+      for (const int lit : clause) {
+        const unsigned v = static_cast<unsigned>(std::abs(lit)) - 1;
+        const bool val = ((bits >> v) & 1) != 0;
+        if ((lit > 0) == val) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+class RandomCnfTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomCnfTest, AgreesWithBruteForceAndModelChecks) {
+  const std::uint64_t seed = GetParam();
+  const unsigned num_vars = 8 + static_cast<unsigned>(seed % 5);       // 8..12
+  const unsigned num_clauses = num_vars * 4 + static_cast<unsigned>(seed % 7);
+  const RandomCnf cnf = make_random_cnf(seed, num_vars, num_clauses);
+
+  SatSolver s;
+  std::vector<Var> vars;
+  for (unsigned v = 0; v < num_vars; ++v) vars.push_back(s.new_var());
+  bool trivially_unsat = false;
+  for (const auto& clause : cnf.clauses) {
+    std::vector<Lit> lits;
+    for (const int lit : clause) {
+      const Var v = vars[static_cast<unsigned>(std::abs(lit)) - 1];
+      lits.push_back(lit > 0 ? pos(v) : neg(v));
+    }
+    if (!s.add_clause(lits)) trivially_unsat = true;
+  }
+
+  const bool expected = brute_force_sat(cnf);
+  const SolveResult got = trivially_unsat ? SolveResult::kUnsat : s.solve();
+  EXPECT_EQ(got == SolveResult::kSat, expected) << "seed=" << seed;
+
+  if (got == SolveResult::kSat) {
+    // The model must actually satisfy every clause.
+    for (const auto& clause : cnf.clauses) {
+      bool sat = false;
+      for (const int lit : clause) {
+        const Var v = vars[static_cast<unsigned>(std::abs(lit)) - 1];
+        const bool val = s.model_value(v) == LBool::kTrue;
+        if ((lit > 0) == val) {
+          sat = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(sat) << "model violates a clause, seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCnfTest,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace mcsym::smt

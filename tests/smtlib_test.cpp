@@ -1,0 +1,331 @@
+// SMT-LIB 2 front end: unit tests of the reader/builder, error reporting,
+// and the dump/parse/solve roundtrip property — every problem the encoder
+// exports must parse back and produce the same verdict (and the same number
+// of enumerated pairings) as solving the original in-memory encoding.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/random_program.hpp"
+#include "check/symbolic_checker.hpp"
+#include "check/workloads.hpp"
+#include "encode/encoder.hpp"
+#include "match/generators.hpp"
+#include "mcapi/executor.hpp"
+#include "smt/smtlib.hpp"
+#include "smt/smtlib_parser.hpp"
+#include "smt/solver.hpp"
+#include "trace/trace.hpp"
+
+namespace mcsym::smt {
+namespace {
+
+SolveResult solve_text(const std::string& text) {
+  Solver solver;
+  const SmtLibOutcome out = parse_smtlib(solver.terms(), text);
+  EXPECT_TRUE(out.ok()) << out.error;
+  if (!out.ok()) return SolveResult::kUnknown;
+  for (const TermId t : out.script->assertions) solver.assert_term(t);
+  return solver.check();
+}
+
+TEST(SmtLibParserTest, EmptyScriptParses) {
+  TermTable tt;
+  const SmtLibOutcome out = parse_smtlib(tt, "");
+  ASSERT_TRUE(out.ok()) << out.error;
+  EXPECT_TRUE(out.script->assertions.empty());
+  EXPECT_FALSE(out.script->check_sat);
+}
+
+TEST(SmtLibParserTest, HeaderCommandsAreAccepted) {
+  TermTable tt;
+  const SmtLibOutcome out = parse_smtlib(tt, R"(
+(set-logic QF_IDL)
+(set-info :source |mcsym test|)
+(set-option :produce-models true)
+(check-sat)
+(get-model)
+(exit)
+)");
+  ASSERT_TRUE(out.ok()) << out.error;
+  EXPECT_EQ(out.script->logic, "QF_IDL");
+  EXPECT_TRUE(out.script->check_sat);
+}
+
+TEST(SmtLibParserTest, SimpleSatProblem) {
+  EXPECT_EQ(solve_text(R"(
+(declare-fun x () Int)
+(declare-fun y () Int)
+(assert (< x y))
+(assert (<= (- y x) 5))
+(check-sat)
+)"),
+            SolveResult::kSat);
+}
+
+TEST(SmtLibParserTest, SimpleUnsatProblem) {
+  EXPECT_EQ(solve_text(R"(
+(declare-fun x () Int)
+(declare-fun y () Int)
+(assert (< x y))
+(assert (< y x))
+)"),
+            SolveResult::kUnsat);
+}
+
+TEST(SmtLibParserTest, NegativeCycleThroughThreeVars) {
+  EXPECT_EQ(solve_text(R"(
+(declare-const a Int)
+(declare-const b Int)
+(declare-const c Int)
+(assert (<= (- a b) -1))
+(assert (<= (- b c) -1))
+(assert (<= (- c a) -1))
+)"),
+            SolveResult::kUnsat);
+}
+
+TEST(SmtLibParserTest, BooleanStructure) {
+  EXPECT_EQ(solve_text(R"(
+(declare-fun p () Bool)
+(declare-fun q () Bool)
+(assert (or (and p (not q)) (and (not p) q)))
+(assert (= p q))
+)"),
+            SolveResult::kUnsat);
+  EXPECT_EQ(solve_text(R"(
+(declare-fun p () Bool)
+(declare-fun q () Bool)
+(assert (xor p q))
+(assert (=> p q))
+(assert (=> q p))
+)"),
+            SolveResult::kUnsat);
+  EXPECT_EQ(solve_text(R"(
+(declare-fun p () Bool)
+(assert (ite p true false))
+(assert p)
+)"),
+            SolveResult::kSat);
+}
+
+TEST(SmtLibParserTest, EqualityAndDistinct) {
+  EXPECT_EQ(solve_text(R"(
+(declare-fun x () Int)
+(declare-fun y () Int)
+(declare-fun z () Int)
+(assert (distinct x y z))
+(assert (<= x 1)) (assert (>= x 0))
+(assert (<= y 1)) (assert (>= y 0))
+(assert (<= z 1)) (assert (>= z 0))
+)"),
+            SolveResult::kUnsat)
+      << "three distinct values cannot fit in {0,1}";
+  EXPECT_EQ(solve_text(R"(
+(declare-fun x () Int)
+(declare-fun y () Int)
+(assert (= x (+ y 3)))
+(assert (= y 4))
+(assert (= x 7))
+)"),
+            SolveResult::kSat);
+}
+
+TEST(SmtLibParserTest, ChainedComparisons) {
+  EXPECT_EQ(solve_text(R"(
+(declare-fun a () Int)
+(declare-fun b () Int)
+(declare-fun c () Int)
+(assert (< a b c))
+(assert (= c 1))
+(assert (>= a 0))
+)"),
+            SolveResult::kUnsat)
+      << "a < b < c = 1 with a >= 0 is impossible over integers";
+}
+
+TEST(SmtLibParserTest, ArithmeticForms) {
+  // (+ k x), unary minus, subtraction of constants, x - x cancellation.
+  EXPECT_EQ(solve_text(R"(
+(declare-fun x () Int)
+(assert (= (+ 2 x) 5))
+(assert (= x 3))
+)"),
+            SolveResult::kSat);
+  EXPECT_EQ(solve_text(R"(
+(declare-fun x () Int)
+(assert (< (- x) 0))
+(assert (< x 0))
+)"),
+            SolveResult::kUnsat);
+  EXPECT_EQ(solve_text(R"(
+(declare-fun x () Int)
+(declare-fun y () Int)
+(assert (= (- (+ x 4) (+ y 1)) 0))
+(assert (= y 10))
+(assert (= x 7))
+)"),
+            SolveResult::kSat);
+  EXPECT_EQ(solve_text(R"(
+(declare-fun x () Int)
+(assert (= (- x x) 1))
+)"),
+            SolveResult::kUnsat);
+}
+
+TEST(SmtLibParserTest, QuotedSymbols) {
+  TermTable tt;
+  const SmtLibOutcome out = parse_smtlib(tt, R"(
+(declare-fun |weird name| () Int)
+(assert (= |weird name| 1))
+)");
+  ASSERT_TRUE(out.ok()) << out.error;
+}
+
+// --- Errors --------------------------------------------------------------------
+
+std::string error_of(const std::string& text) {
+  TermTable tt;
+  const SmtLibOutcome out = parse_smtlib(tt, text);
+  EXPECT_FALSE(out.ok());
+  return out.error;
+}
+
+TEST(SmtLibParserErrorsTest, UnbalancedParens) {
+  EXPECT_NE(error_of("(assert (and true"), "");
+  EXPECT_NE(error_of(")"), "");
+}
+
+TEST(SmtLibParserErrorsTest, UndeclaredSymbol) {
+  EXPECT_NE(error_of("(assert (< x 1))").find("undeclared symbol 'x'"),
+            std::string::npos);
+}
+
+TEST(SmtLibParserErrorsTest, Redeclaration) {
+  EXPECT_NE(error_of("(declare-fun x () Int)(declare-fun x () Int)")
+                .find("redeclaration"),
+            std::string::npos);
+}
+
+TEST(SmtLibParserErrorsTest, SortMismatch) {
+  EXPECT_NE(error_of("(declare-fun p () Bool)(assert (< p 1))")
+                .find("not Int-sorted"),
+            std::string::npos);
+  EXPECT_NE(error_of("(declare-fun x () Int)(assert x)").find("not Bool-sorted"),
+            std::string::npos);
+  EXPECT_NE(error_of("(declare-fun x () Real)(assert true)")
+                .find("unsupported sort"),
+            std::string::npos);
+}
+
+TEST(SmtLibParserErrorsTest, OutsideTheFragment) {
+  EXPECT_NE(error_of("(declare-fun x () Int)(declare-fun y () Int)"
+                     "(assert (< (+ x y) 3))")
+                .find("fragment"),
+            std::string::npos)
+      << "x + y is not expressible in difference logic";
+  EXPECT_NE(error_of("(declare-fun x () Int)(assert (= (* x 2) 4))")
+                .find("unsupported integer operator"),
+            std::string::npos);
+}
+
+TEST(SmtLibParserErrorsTest, UnsupportedCommand) {
+  EXPECT_NE(error_of("(push 1)").find("unsupported command"), std::string::npos);
+}
+
+TEST(SmtLibParserErrorsTest, ErrorsCarryLineNumbers) {
+  const std::string err = error_of("(set-logic QF_IDL)\n\n(assert (< q 1))\n");
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+}
+
+// --- Roundtrip property ----------------------------------------------------------
+
+trace::Trace record(const mcapi::Program& p, std::uint64_t seed) {
+  mcapi::System sys(p);
+  trace::Trace tr(p);
+  trace::Recorder rec(tr);
+  mcapi::RandomScheduler sched(seed);
+  (void)mcapi::run(sys, sched, &rec);
+  return tr;
+}
+
+/// Encodes the trace, dumps SMT-LIB, parses it into a fresh solver, and
+/// checks both give the same verdict; on SAT, also enumerates the id
+/// projection on both sides and compares counts.
+void roundtrip_trace(const trace::Trace& tr) {
+  const match::MatchSet matches = match::generate_overapprox(tr);
+  Solver direct;
+  encode::EncodeOptions opts;
+  opts.property_mode = encode::PropertyMode::kIgnore;
+  encode::Encoder encoder(direct, tr, matches, opts);
+  const encode::Encoding enc = encoder.encode();
+  const std::string dumped = to_smtlib(direct.terms(), direct.assertions());
+
+  Solver reparsed;
+  const SmtLibOutcome out = parse_smtlib(reparsed.terms(), dumped);
+  ASSERT_TRUE(out.ok()) << out.error;
+  for (const TermId t : out.script->assertions) reparsed.assert_term(t);
+
+  const SolveResult direct_result = direct.check();
+  const SolveResult reparsed_result = reparsed.check();
+  ASSERT_EQ(direct_result, reparsed_result);
+  if (direct_result != SolveResult::kSat) return;
+
+  // Rebuild the all-SAT projection in the reparsed problem by variable name
+  // (hash-consing guarantees int_var(name) returns the declared term).
+  std::vector<TermId> direct_proj = enc.id_projection();
+  std::vector<TermId> reparsed_proj;
+  reparsed_proj.reserve(direct_proj.size());
+  for (const TermId t : direct_proj) {
+    reparsed_proj.push_back(reparsed.terms().int_var(direct.terms().var_name(t)));
+  }
+
+  std::uint64_t direct_count = 0;
+  while (direct.check() == SolveResult::kSat && direct_count < 10'000) {
+    ++direct_count;
+    direct.block_current_ints(direct_proj);
+  }
+  std::uint64_t reparsed_count = 0;
+  while (reparsed.check() == SolveResult::kSat && reparsed_count < 10'000) {
+    ++reparsed_count;
+    reparsed.block_current_ints(reparsed_proj);
+  }
+  EXPECT_EQ(direct_count, reparsed_count);
+  EXPECT_GE(direct_count, 1u);
+}
+
+TEST(SmtLibRoundtripTest, Figure1) {
+  const mcapi::Program p = check::workloads::figure1();
+  roundtrip_trace(record(p, 3));
+}
+
+TEST(SmtLibRoundtripTest, MessageRace) {
+  const mcapi::Program p = check::workloads::message_race(3, 2);
+  roundtrip_trace(record(p, 3));
+}
+
+TEST(SmtLibRoundtripTest, NonblockingGather) {
+  const mcapi::Program p = check::workloads::nonblocking_gather(3);
+  roundtrip_trace(record(p, 3));
+}
+
+TEST(SmtLibRoundtripTest, Branchy) {
+  const mcapi::Program p = check::workloads::branchy_race();
+  roundtrip_trace(record(p, 3));
+}
+
+class SmtLibRandomRoundtripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SmtLibRandomRoundtripTest, DumpParseSolveAgrees) {
+  const std::uint64_t seed = GetParam();
+  check::RandomProgramOptions opts;
+  opts.allow_nonblocking = (seed % 2) == 0;
+  const mcapi::Program p = check::random_program(seed, opts);
+  roundtrip_trace(record(p, seed ^ 0x1111));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmtLibRandomRoundtripTest,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace mcsym::smt

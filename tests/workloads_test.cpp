@@ -1,0 +1,156 @@
+// Semantics checks for every shipped workload: structure, runnability under
+// multiple schedulers, and the behavior counts the experiments rely on.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "check/explicit_checker.hpp"
+#include "check/workloads.hpp"
+#include "match/generators.hpp"
+#include "mcapi/executor.hpp"
+#include "trace/trace.hpp"
+
+namespace mcsym::check {
+namespace {
+
+namespace wl = workloads;
+
+void expect_runs_everywhere(const mcapi::Program& p, const char* name,
+                            bool may_violate = false) {
+  {
+    mcapi::System sys(p);
+    mcapi::RoundRobinScheduler rr;
+    const auto r = mcapi::run(sys, rr);
+    EXPECT_TRUE(r.outcome == mcapi::RunResult::Outcome::kHalted ||
+                (may_violate && r.outcome == mcapi::RunResult::Outcome::kViolation))
+        << name;
+  }
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    mcapi::System sys(p);
+    mcapi::RandomScheduler rand(seed);
+    const auto r = mcapi::run(sys, rand);
+    EXPECT_TRUE(r.outcome == mcapi::RunResult::Outcome::kHalted ||
+                (may_violate && r.outcome == mcapi::RunResult::Outcome::kViolation))
+        << name << " seed " << seed;
+  }
+}
+
+TEST(WorkloadTest, AllWorkloadsRunUnderAllSchedulers) {
+  expect_runs_everywhere(wl::figure1(), "figure1");
+  expect_runs_everywhere(wl::figure1_with_property().program, "figure1_prop",
+                         /*may_violate=*/true);
+  expect_runs_everywhere(wl::message_race(3, 2), "message_race");
+  expect_runs_everywhere(wl::pipeline(4, 3), "pipeline");
+  expect_runs_everywhere(wl::scatter_gather(3), "scatter_gather", true);
+  expect_runs_everywhere(wl::nonblocking_gather(3), "nonblocking_gather", true);
+  expect_runs_everywhere(wl::ring(4), "ring");
+  expect_runs_everywhere(wl::relay_race(2), "relay_race");
+  expect_runs_everywhere(wl::nonblocking_window(), "nonblocking_window");
+  expect_runs_everywhere(wl::reversed_waits(), "reversed_waits");
+  expect_runs_everywhere(wl::branchy_race(), "branchy_race", true);
+}
+
+TEST(WorkloadTest, PipelinePreservesValuesDeterministically) {
+  const mcapi::Program p = wl::pipeline(4, 2);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    mcapi::System sys(p);
+    mcapi::RandomScheduler sched(seed);
+    const auto r = mcapi::run(sys, sched);
+    // The end-of-pipe assertions are checked inside the program; a
+    // violation would end the run early.
+    EXPECT_EQ(r.outcome, mcapi::RunResult::Outcome::kHalted) << seed;
+  }
+}
+
+TEST(WorkloadTest, RingTokenAccumulates) {
+  for (std::uint32_t n = 2; n <= 5; ++n) {
+    const mcapi::Program p = wl::ring(n);
+    mcapi::System sys(p);
+    mcapi::RoundRobinScheduler sched;
+    EXPECT_EQ(mcapi::run(sys, sched).outcome, mcapi::RunResult::Outcome::kHalted)
+        << n;
+  }
+}
+
+TEST(WorkloadTest, ScatterGatherViolationIsDelayIndependent) {
+  // Unlike figure1's bug, the gather-order race is reachable by scheduling
+  // alone, so even the MCC-style world finds it.
+  const mcapi::Program p = wl::scatter_gather(2);
+  ExplicitOptions opts;
+  opts.mode = mcapi::DeliveryMode::kGlobalFifo;
+  ExplicitChecker mcc(p, opts);
+  EXPECT_TRUE(mcc.run().violation_found);
+}
+
+TEST(WorkloadTest, MessageRaceMatchingCountsFormula) {
+  // (N*M)! / (M!)^N FIFO-respecting interleavings.
+  struct Case {
+    std::uint32_t senders, msgs;
+    std::size_t expected;
+  };
+  for (const Case c : {Case{2, 1, 2}, Case{2, 2, 6}, Case{3, 1, 6}, Case{2, 3, 20}}) {
+    const mcapi::Program p = wl::message_race(c.senders, c.msgs);
+    mcapi::System sys(p);
+    trace::Trace tr(p);
+    trace::Recorder rec(tr);
+    mcapi::RoundRobinScheduler sched;
+    ASSERT_TRUE(mcapi::run(sys, sched, &rec).completed());
+    EXPECT_EQ(match::enumerate_feasible(tr).matchings.size(), c.expected)
+        << c.senders << "x" << c.msgs;
+  }
+}
+
+TEST(WorkloadTest, BranchyRaceTakesBothPathsAcrossSeeds) {
+  const mcapi::Program p = wl::branchy_race();
+  bool saw_violation = false;
+  bool saw_clean = false;
+  for (std::uint64_t seed = 0; seed < 64 && !(saw_violation && saw_clean); ++seed) {
+    mcapi::System sys(p);
+    mcapi::RandomScheduler sched(seed);
+    const auto r = mcapi::run(sys, sched);
+    if (r.outcome == mcapi::RunResult::Outcome::kViolation) saw_violation = true;
+    if (r.outcome == mcapi::RunResult::Outcome::kHalted) saw_clean = true;
+  }
+  EXPECT_TRUE(saw_violation);
+  EXPECT_TRUE(saw_clean);
+}
+
+TEST(WorkloadTest, RelayRaceIssueOrderInvariant) {
+  // In every run, Y_i is issued before X_i (program order through the relay).
+  const mcapi::Program p = wl::relay_race(2);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    mcapi::System sys(p);
+    trace::Trace tr(p);
+    trace::Recorder rec(tr);
+    mcapi::RandomScheduler sched(seed);
+    ASSERT_TRUE(mcapi::run(sys, sched, &rec).completed());
+    // uid order is issue order: for each pair i, the Y send (payload 1000+i)
+    // must carry a smaller uid than the X send (payload 3000+i).
+    std::map<std::int64_t, mcapi::SendUid> uid_of_payload;
+    for (const trace::EventIndex s : tr.sends()) {
+      uid_of_payload[tr.event(s).ev.value] = tr.event(s).ev.uid;
+    }
+    for (std::uint32_t i = 0; i < 2; ++i) {
+      EXPECT_LT(uid_of_payload.at(1000 + i), uid_of_payload.at(3000 + i));
+    }
+  }
+}
+
+TEST(WorkloadTest, NonblockingWindowLateSendObservedAcrossSeeds) {
+  // Some seed must actually realize the late-send binding at runtime
+  // (otherwise the workload would not demonstrate what it claims).
+  const mcapi::Program p = wl::nonblocking_window();
+  bool late_bound = false;
+  for (std::uint64_t seed = 0; seed < 64 && !late_bound; ++seed) {
+    mcapi::System sys(p);
+    mcapi::RandomScheduler sched(seed);
+    if (mcapi::run(sys, sched).outcome != mcapi::RunResult::Outcome::kHalted) continue;
+    // local "x" of rx (slot of first recv target) equals 99 when the late
+    // message matched the request.
+    if (sys.local(0, 0) == 99) late_bound = true;
+  }
+  EXPECT_TRUE(late_bound);
+}
+
+}  // namespace
+}  // namespace mcsym::check

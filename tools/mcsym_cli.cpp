@@ -1,0 +1,590 @@
+// mcsym — command-line front end for the full pipeline of the paper:
+//
+//   run one execution of an MCAPI program, record its trace, generate the
+//   match-pair sets, encode P = POrder ∧ PMatchPairs ∧ PUnique ∧ ¬PProp ∧
+//   PEvents, hand it to the SMT solver, and read the verdict / witness /
+//   full pairing enumeration back out.
+//
+// Programs come in as `.mcp` text (see src/text/program_text.hpp for the
+// grammar). Subcommands:
+//
+//   mcsym run FILE        execute once on the simulated runtime
+//   mcsym trace FILE      print the recorded trace, one event per line
+//   mcsym check FILE      verify safety properties symbolically
+//   mcsym enumerate FILE  enumerate every feasible send/receive pairing
+//   mcsym smt FILE        emit the SMT problem as SMT-LIB2 text
+//   mcsym fmt FILE        reprint the program in canonical form
+//
+// Exit codes: 0 = success / property verified (UNSAT); 1 = a property
+// violation is reachable (SAT); 2 = usage or input error.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/diagnose.hpp"
+#include "check/explicit_checker.hpp"
+#include "check/symbolic_checker.hpp"
+#include "check/witness_replay.hpp"
+#include "mcapi/executor.hpp"
+#include "smt/smtlib.hpp"
+#include "smt/smtlib_parser.hpp"
+#include "text/program_text.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using mcsym::check::SymbolicChecker;
+using mcsym::check::SymbolicOptions;
+using mcsym::text::ParseOutcome;
+
+constexpr const char* kUsage = R"(usage: mcsym COMMAND FILE.mcp [options]
+
+commands:
+  run        execute the program once on the simulated MCAPI runtime
+  trace      record one execution and print its trace text
+  check      decide whether any execution consistent with the recorded
+             trace violates a property (the paper's SMT pipeline)
+  enumerate  enumerate every feasible send/receive pairing of the trace
+  diagnose   explain whether proposed --pair bindings are jointly feasible
+  smt        print the SMT problem (SMT-LIB2) for the recorded trace
+  solve      run the built-in CDCL+IDL solver on an SMT-LIB2 file
+  fmt        parse and reprint the program in canonical form
+
+common options:
+  --seed N             scheduler seed for the recorded execution (default 1)
+  --round-robin        use the deterministic round-robin scheduler instead
+  --property EXPR      extra end-of-run property, e.g. 't0.A == 20'
+                       (repeatable; conjoined with in-program asserts)
+  --precise            generate match pairs by precise DFS instead of the
+                       endpoint over-approximation
+  --no-fifo            drop MCAPI per-channel FIFO constraints (ablation)
+  --delay-ignorant     Elwakil-Yang-style baseline encoding (delivery order
+                       = issue order; misses Figure-4b behaviors)
+  --assert-props       assert PProp instead of its negation (SAT = a fully
+                       correct execution exists)
+  --witness            print the decoded witness on SAT (check)
+  --replay             re-execute the witness on the runtime and report the
+                       outcome (check)
+  --explicit           also run the explicit-state ground truth (enumerate)
+  --mcc                also run the MCC-style global-FIFO baseline (enumerate)
+  --pair 'tS:send#K -> tR:recv#J'
+                       propose that thread tR's J-th receive takes thread
+                       tS's K-th send (repeatable; ordinals as printed by
+                       enumerate) (diagnose)
+  -o FILE              write primary output to FILE instead of stdout
+
+exit codes: 0 ok / verified; 1 violation possible (check: SAT); 2 error
+)";
+
+struct Options {
+  std::string command;
+  std::string file;
+  std::uint64_t seed = 1;
+  bool round_robin = false;
+  std::vector<std::string> properties;
+  bool precise = false;
+  bool no_fifo = false;
+  bool delay_ignorant = false;
+  bool assert_props = false;
+  bool witness = false;
+  bool replay = false;
+  bool with_explicit = false;
+  bool with_mcc = false;
+  std::vector<std::string> pairs;
+  std::string out_path;
+};
+
+int fail(const std::string& message) {
+  std::cerr << "mcsym: " << message << "\n";
+  return 2;
+}
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options o;
+  if (argc < 3) return std::nullopt;
+  o.command = argv[1];
+  o.file = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (a == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      o.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--round-robin") {
+      o.round_robin = true;
+    } else if (a == "--property") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      o.properties.emplace_back(v);
+    } else if (a == "--precise") {
+      o.precise = true;
+    } else if (a == "--no-fifo") {
+      o.no_fifo = true;
+    } else if (a == "--delay-ignorant") {
+      o.delay_ignorant = true;
+    } else if (a == "--assert-props") {
+      o.assert_props = true;
+    } else if (a == "--witness") {
+      o.witness = true;
+    } else if (a == "--replay") {
+      o.replay = true;
+    } else if (a == "--explicit") {
+      o.with_explicit = true;
+    } else if (a == "--mcc") {
+      o.with_mcc = true;
+    } else if (a == "--pair") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      o.pairs.emplace_back(v);
+    } else if (a == "-o") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      o.out_path = v;
+    } else {
+      std::cerr << "mcsym: unknown option '" << a << "'\n";
+      return std::nullopt;
+    }
+  }
+  return o;
+}
+
+/// Reads the whole file; nullopt (with message on stderr) when unreadable.
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "mcsym: cannot open '" << path << "'\n";
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+int write_output(const Options& o, const std::string& content) {
+  if (o.out_path.empty()) {
+    std::cout << content;
+    return 0;
+  }
+  std::ofstream out(o.out_path, std::ios::binary);
+  if (!out) return fail("cannot write '" + o.out_path + "'");
+  out << content;
+  return 0;
+}
+
+struct LoadedProgram {
+  mcsym::text::ParsedProgram unit;
+  std::vector<mcsym::encode::Property> properties;  // unit's + --property's
+};
+
+std::optional<LoadedProgram> load(const Options& o) {
+  const auto source = slurp(o.file);
+  if (!source) return std::nullopt;
+  ParseOutcome out = mcsym::text::parse_program(*source);
+  if (!out.ok()) {
+    std::cerr << "mcsym: " << o.file << " has errors:\n" << out.error_text() << "\n";
+    return std::nullopt;
+  }
+  LoadedProgram lp{std::move(*out.parsed), {}};
+  lp.properties = lp.unit.properties;
+  for (const std::string& text : o.properties) {
+    auto prop = mcsym::text::parse_property(lp.unit.program, text);
+    if (!prop.ok()) {
+      std::cerr << "mcsym: bad --property '" << text << "':";
+      for (const auto& d : prop.diagnostics) std::cerr << " " << d.message;
+      std::cerr << "\n";
+      return std::nullopt;
+    }
+    lp.properties.push_back(std::move(*prop.property));
+  }
+  return lp;
+}
+
+/// Executes once under the selected scheduler, recording into `trace`.
+mcsym::mcapi::RunResult record(const Options& o, const mcsym::mcapi::Program& program,
+                               mcsym::trace::Trace& trace) {
+  mcsym::mcapi::System sys(program);
+  mcsym::trace::Recorder rec(trace);
+  if (o.round_robin) {
+    mcsym::mcapi::RoundRobinScheduler sched;
+    return mcsym::mcapi::run(sys, sched, &rec);
+  }
+  mcsym::mcapi::RandomScheduler sched(o.seed);
+  return mcsym::mcapi::run(sys, sched, &rec);
+}
+
+const char* outcome_name(mcsym::mcapi::RunResult::Outcome oc) {
+  using Outcome = mcsym::mcapi::RunResult::Outcome;
+  switch (oc) {
+    case Outcome::kHalted: return "halted";
+    case Outcome::kViolation: return "assertion violation";
+    case Outcome::kDeadlock: return "deadlock";
+    case Outcome::kStepLimit: return "step limit";
+  }
+  return "?";
+}
+
+SymbolicOptions symbolic_options(const Options& o) {
+  SymbolicOptions so;
+  so.match_gen = o.precise ? mcsym::check::MatchGen::kPrecise
+                           : mcsym::check::MatchGen::kOverapprox;
+  so.encode.fifo_non_overtaking = !o.no_fifo;
+  so.encode.delay_ignorant = o.delay_ignorant;
+  if (o.assert_props) {
+    so.encode.property_mode = mcsym::encode::PropertyMode::kAssert;
+  }
+  return so;
+}
+
+int cmd_run(const Options& o) {
+  const auto lp = load(o);
+  if (!lp) return 2;
+  mcsym::trace::Trace trace(lp->unit.program);
+  const auto result = record(o, lp->unit.program, trace);
+  std::ostringstream report;
+  report << "outcome: " << outcome_name(result.outcome) << " after " << result.steps
+         << " steps; " << trace.size() << " events, " << trace.sends().size()
+         << " sends, " << trace.receives().size() << " receives\n";
+  const int rc = write_output(o, report.str());
+  if (rc != 0) return rc;
+  return result.outcome == mcsym::mcapi::RunResult::Outcome::kViolation ? 1 : 0;
+}
+
+int cmd_trace(const Options& o) {
+  const auto lp = load(o);
+  if (!lp) return 2;
+  mcsym::trace::Trace trace(lp->unit.program);
+  const auto result = record(o, lp->unit.program, trace);
+  if (!result.completed() &&
+      result.outcome != mcsym::mcapi::RunResult::Outcome::kViolation) {
+    std::cerr << "mcsym: recorded execution did not complete ("
+              << outcome_name(result.outcome) << ")\n";
+  }
+  return write_output(o, trace.to_text());
+}
+
+int cmd_check(const Options& o) {
+  const auto lp = load(o);
+  if (!lp) return 2;
+  mcsym::trace::Trace trace(lp->unit.program);
+  (void)record(o, lp->unit.program, trace);
+
+  SymbolicChecker checker(trace, symbolic_options(o));
+  const auto verdict = checker.check(lp->properties);
+
+  std::ostringstream report;
+  switch (verdict.result) {
+    case mcsym::smt::SolveResult::kSat:
+      report << (o.assert_props ? "SAT: a fully correct execution exists"
+                                : "SAT: a property violation is reachable")
+             << "\n";
+      break;
+    case mcsym::smt::SolveResult::kUnsat:
+      report << (o.assert_props ? "UNSAT: no fully correct execution"
+                                : "UNSAT: no execution of this trace violates the "
+                                  "properties")
+             << "\n";
+      break;
+    case mcsym::smt::SolveResult::kUnknown:
+      report << "UNKNOWN: solver budget exhausted\n";
+      break;
+  }
+  report << "stats: " << verdict.encode_stats.clock_vars << " clocks, "
+         << verdict.encode_stats.id_vars << " match ids, "
+         << verdict.encode_stats.match_disjuncts << " match disjuncts, "
+         << verdict.sat_conflicts << " conflicts, " << verdict.sat_decisions
+         << " decisions\n";
+
+  if (verdict.witness.has_value() && o.witness) {
+    report << "\n" << verdict.witness->to_string(trace);
+  }
+  if (verdict.witness.has_value() && o.replay) {
+    const auto replayed = mcsym::check::schedule_from_witness(
+        lp->unit.program, trace, *verdict.witness);
+    if (!replayed.has_value()) {
+      report << "replay: FAILED to realize the witness (encoding bug?)\n";
+    } else {
+      report << "replay: witness realized in " << replayed->script.size()
+             << " steps; in-program asserts "
+             << (replayed->violation ? "fired" : "held");
+      if (!verdict.witness->violated.empty()) {
+        report << "; end-of-run properties violated as listed above";
+      }
+      report << "\n";
+    }
+  }
+  const int rc = write_output(o, report.str());
+  if (rc != 0) return rc;
+  return verdict.result == mcsym::smt::SolveResult::kSat ? 1 : 0;
+}
+
+int cmd_enumerate(const Options& o) {
+  const auto lp = load(o);
+  if (!lp) return 2;
+  mcsym::trace::Trace trace(lp->unit.program);
+  (void)record(o, lp->unit.program, trace);
+
+  SymbolicChecker checker(trace, symbolic_options(o));
+  const auto enumeration = checker.enumerate_matchings();
+
+  std::ostringstream report;
+  report << enumeration.matchings.size() << " feasible pairing(s)"
+         << (enumeration.truncated ? " (truncated)" : "") << ", "
+         << enumeration.solver_calls << " solver calls\n";
+  std::size_t index = 1;
+  for (const auto& matching : enumeration.matchings) {
+    report << "pairing " << index++ << ":\n";
+    for (const auto& [recv, send] : matching) {
+      const auto& r = trace.event(recv).ev;
+      const auto& s = trace.event(send).ev;
+      report << "  " << lp->unit.program.thread(s.thread).name << ":send#"
+             << s.op_index << " (value " << s.value << ") -> "
+             << lp->unit.program.thread(r.thread).name << ":recv#" << r.op_index
+             << "\n";
+    }
+  }
+
+  if (o.with_explicit) {
+    mcsym::check::ExplicitOptions eopts;
+    eopts.collect_matchings = true;
+    mcsym::check::ExplicitChecker explicit_checker(lp->unit.program, eopts);
+    const auto truth = explicit_checker.enumerate_against(trace);
+    report << "explicit-state ground truth: " << truth.matchings.size()
+           << " pairing(s)" << (truth.truncated ? " (truncated)" : "")
+           << (truth.matchings == enumeration.matchings ? " — agrees"
+                                                        : " — MISMATCH")
+           << "\n";
+  }
+  if (o.with_mcc) {
+    mcsym::check::ExplicitOptions eopts;
+    eopts.collect_matchings = true;
+    eopts.mode = mcsym::mcapi::DeliveryMode::kGlobalFifo;
+    mcsym::check::ExplicitChecker mcc(lp->unit.program, eopts);
+    const auto restricted = mcc.enumerate_against(trace);
+    report << "MCC-style baseline (no delay nondeterminism): "
+           << restricted.matchings.size() << " pairing(s)";
+    if (restricted.matchings.size() < enumeration.matchings.size()) {
+      report << " — misses "
+             << enumeration.matchings.size() - restricted.matchings.size()
+             << " behavior(s) (the Figure-4b gap)";
+    }
+    report << "\n";
+  }
+  return write_output(o, report.str());
+}
+
+/// Parses "tS:send#K -> tR:recv#J" (or the reversed "tR:recv#J <- tS:send#K")
+/// into trace event indices.
+std::optional<mcsym::check::PairProposal> parse_pair(
+    const std::string& text, const mcsym::mcapi::Program& program,
+    const mcsym::trace::Trace& trace) {
+  auto bad = [&](const std::string& why) -> std::optional<mcsym::check::PairProposal> {
+    std::cerr << "mcsym: bad --pair '" << text << "': " << why << "\n";
+    return std::nullopt;
+  };
+
+  std::string lhs;
+  std::string rhs;
+  bool lhs_is_send = true;
+  if (const auto arrow = text.find("->"); arrow != std::string::npos) {
+    lhs = text.substr(0, arrow);
+    rhs = text.substr(arrow + 2);
+  } else if (const auto rev = text.find("<-"); rev != std::string::npos) {
+    lhs = text.substr(0, rev);
+    rhs = text.substr(rev + 2);
+    lhs_is_send = false;
+  } else {
+    return bad("expected 'tS:send#K -> tR:recv#J'");
+  }
+
+  // "thread:kind#ordinal"
+  auto parse_ref = [&](std::string s, bool expect_send,
+                       mcsym::trace::EventIndex& out) -> bool {
+    // Trim.
+    while (!s.empty() && s.front() == ' ') s.erase(s.begin());
+    while (!s.empty() && s.back() == ' ') s.pop_back();
+    const auto colon = s.find(':');
+    const auto hash = s.find('#');
+    if (colon == std::string::npos || hash == std::string::npos || hash < colon) {
+      std::cerr << "mcsym: bad --pair '" << text << "': malformed endpoint '" << s
+                << "'\n";
+      return false;
+    }
+    const std::string thread_name = s.substr(0, colon);
+    const std::string kind = s.substr(colon + 1, hash - colon - 1);
+    const std::uint32_t ordinal =
+        static_cast<std::uint32_t>(std::strtoul(s.c_str() + hash + 1, nullptr, 10));
+    if (kind != (expect_send ? "send" : "recv")) {
+      std::cerr << "mcsym: bad --pair '" << text << "': expected '"
+                << (expect_send ? "send" : "recv") << "', got '" << kind << "'\n";
+      return false;
+    }
+    for (mcsym::mcapi::ThreadRef t = 0; t < program.num_threads(); ++t) {
+      if (program.thread(t).name != thread_name) continue;
+      const mcsym::trace::EventIndex ev = trace.find(t, ordinal);
+      if (ev == mcsym::trace::kNoEvent) {
+        std::cerr << "mcsym: bad --pair '" << text << "': no event '" << s
+                  << "' in the trace\n";
+        return false;
+      }
+      using Kind = mcsym::mcapi::ExecEvent::Kind;
+      const Kind k = trace.event(ev).ev.kind;
+      const bool ok_kind = expect_send
+                               ? k == Kind::kSend
+                               : (k == Kind::kRecv || k == Kind::kRecvIssue);
+      if (!ok_kind) {
+        std::cerr << "mcsym: bad --pair '" << text << "': '" << s << "' is not a "
+                  << (expect_send ? "send" : "receive") << " event\n";
+        return false;
+      }
+      out = ev;
+      return true;
+    }
+    std::cerr << "mcsym: bad --pair '" << text << "': unknown thread '"
+              << thread_name << "'\n";
+    return false;
+  };
+
+  mcsym::check::PairProposal p;
+  const std::string& send_text = lhs_is_send ? lhs : rhs;
+  const std::string& recv_text = lhs_is_send ? rhs : lhs;
+  if (!parse_ref(send_text, /*expect_send=*/true, p.send)) return std::nullopt;
+  if (!parse_ref(recv_text, /*expect_send=*/false, p.recv)) return std::nullopt;
+  return p;
+}
+
+int cmd_diagnose(const Options& o) {
+  const auto lp = load(o);
+  if (!lp) return 2;
+  if (o.pairs.empty()) return fail("diagnose needs at least one --pair");
+  mcsym::trace::Trace trace(lp->unit.program);
+  (void)record(o, lp->unit.program, trace);
+
+  std::vector<mcsym::check::PairProposal> proposals;
+  for (const std::string& text : o.pairs) {
+    const auto p = parse_pair(text, lp->unit.program, trace);
+    if (!p) return 2;
+    proposals.push_back(*p);
+  }
+
+  mcsym::check::DiagnoseOptions dopts;
+  dopts.encode = symbolic_options(o).encode;
+  const mcsym::check::Diagnosis d =
+      mcsym::check::diagnose_pairing(trace, proposals, dopts);
+
+  std::ostringstream report;
+  auto pair_name = [&](const mcsym::check::PairProposal& p) {
+    const auto& s = trace.event(p.send).ev;
+    const auto& r = trace.event(p.recv).ev;
+    return lp->unit.program.thread(s.thread).name + ":send#" +
+           std::to_string(s.op_index) + " -> " +
+           lp->unit.program.thread(r.thread).name + ":recv#" +
+           std::to_string(r.op_index);
+  };
+  if (d.feasible) {
+    report << "feasible: some execution realizes every proposed pair\n";
+    if (d.witness) report << "\n" << d.witness->to_string(trace);
+  } else {
+    report << "infeasible: no execution realizes the proposed pairs together\n";
+    if (!d.blamed_pairs.empty()) {
+      report << "conflicting pairs:\n";
+      for (const auto& p : d.blamed_pairs) report << "  " << pair_name(p) << "\n";
+    }
+    if (!d.blamed_groups.empty()) {
+      report << "violated constraint groups:";
+      for (const auto& g : d.blamed_groups) report << " " << g;
+      report << "\n";
+    }
+  }
+  const int rc = write_output(o, report.str());
+  if (rc != 0) return rc;
+  return d.feasible ? 0 : 1;
+}
+
+int cmd_smt(const Options& o) {
+  const auto lp = load(o);
+  if (!lp) return 2;
+  mcsym::trace::Trace trace(lp->unit.program);
+  (void)record(o, lp->unit.program, trace);
+
+  // Build the encoding exactly as `check` would, then print the assertions.
+  const SymbolicOptions so = symbolic_options(o);
+  const mcsym::match::MatchSet matches =
+      so.match_gen == mcsym::check::MatchGen::kPrecise
+          ? mcsym::match::enumerate_feasible(trace).precise
+          : mcsym::match::generate_overapprox(trace);
+  mcsym::smt::Solver solver;
+  mcsym::encode::Encoder encoder(solver, trace, matches, so.encode);
+  (void)encoder.encode(lp->properties);
+  return write_output(o, mcsym::smt::to_smtlib(solver.terms(), solver.assertions()));
+}
+
+int cmd_solve(const Options& o) {
+  const auto source = slurp(o.file);
+  if (!source) return 2;
+  mcsym::smt::Solver solver;
+  const auto parsed = mcsym::smt::parse_smtlib(solver.terms(), *source);
+  if (!parsed.ok()) {
+    std::cerr << "mcsym: " << o.file << ": " << parsed.error << "\n";
+    return 2;
+  }
+  for (const mcsym::smt::TermId t : parsed.script->assertions) {
+    solver.assert_term(t);
+  }
+  const mcsym::smt::SolveResult result = solver.check();
+  std::ostringstream report;
+  switch (result) {
+    case mcsym::smt::SolveResult::kSat: {
+      report << "sat\n";
+      // Mirror (get-model) for the declared integers, which is what the
+      // encoder's problems quantify over.
+      for (const mcsym::smt::TermId t : parsed.script->declared_ints) {
+        report << "  " << solver.terms().var_name(t) << " = "
+               << solver.model_int(t) << "\n";
+      }
+      break;
+    }
+    case mcsym::smt::SolveResult::kUnsat: report << "unsat\n"; break;
+    case mcsym::smt::SolveResult::kUnknown: report << "unknown\n"; break;
+  }
+  const int rc = write_output(o, report.str());
+  if (rc != 0) return rc;
+  return result == mcsym::smt::SolveResult::kSat ? 1 : 0;
+}
+
+int cmd_fmt(const Options& o) {
+  const auto source = slurp(o.file);
+  if (!source) return 2;
+  ParseOutcome out = mcsym::text::parse_program(*source);
+  if (!out.ok()) {
+    std::cerr << "mcsym: " << o.file << " has errors:\n" << out.error_text() << "\n";
+    return 2;
+  }
+  return write_output(o, mcsym::text::program_to_text(
+                             out.parsed->program, out.parsed->properties,
+                             out.parsed->name));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = parse_args(argc, argv);
+  if (!options) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  if (options->command == "run") return cmd_run(*options);
+  if (options->command == "trace") return cmd_trace(*options);
+  if (options->command == "check") return cmd_check(*options);
+  if (options->command == "enumerate") return cmd_enumerate(*options);
+  if (options->command == "diagnose") return cmd_diagnose(*options);
+  if (options->command == "smt") return cmd_smt(*options);
+  if (options->command == "solve") return cmd_solve(*options);
+  if (options->command == "fmt") return cmd_fmt(*options);
+  return fail("unknown command '" + options->command + "'");
+}
