@@ -1,0 +1,256 @@
+#include "check/differential.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "check/dpor.hpp"
+#include "check/explicit_checker.hpp"
+#include "check/random_program.hpp"
+#include "check/symbolic_checker.hpp"
+#include "check/witness_replay.hpp"
+#include "match/generators.hpp"
+#include "mcapi/executor.hpp"
+#include "mcapi/scheduler.hpp"
+#include "support/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace mcsym::check {
+namespace {
+
+void mismatch(DifferentialReport& report, std::uint64_t seed, std::string detail) {
+  report.mismatches.push_back({seed, std::move(detail)});
+}
+
+RandomProgramOptions shape_for(support::Rng& rng) {
+  RandomProgramOptions popts;
+  popts.threads = 2 + static_cast<std::uint32_t>(rng.below(3));  // 2..4
+  popts.max_sends_per_thread = 1 + static_cast<std::uint32_t>(rng.below(3));
+  // Four wide threads at three sends each explodes every explicit-state
+  // budget just to be skipped; trim the corner, keep the diversity.
+  if (popts.threads == 4) popts.max_sends_per_thread = std::min(popts.max_sends_per_thread, 2u);
+  popts.allow_nonblocking = rng.chance(1, 2);
+  popts.allow_test_poll = popts.allow_nonblocking && rng.chance(1, 2);
+  popts.allow_wait_any = popts.allow_nonblocking && rng.chance(1, 2);
+  popts.add_asserts = rng.chance(1, 2);
+  return popts;
+}
+
+}  // namespace
+
+std::string DifferentialReport::summary() const {
+  std::ostringstream os;
+  os << "differential: " << programs << " programs, " << traces << " traces ("
+     << sat_verdicts << " SAT / " << unsat_verdicts << " UNSAT), "
+     << witnesses_replayed << " witnesses replayed, " << enumerations_checked
+     << " enumerations cross-checked, " << skipped_truncated
+     << " skipped on budget, " << dpor_skipped << " DPOR-skipped, "
+     << mismatches.size() << " mismatches";
+  return os.str();
+}
+
+void differential_iteration(std::uint64_t seed, const DifferentialOptions& options,
+                            DifferentialReport& report) {
+  support::Rng rng(seed ^ 0x5eed5eed5eed5eedULL);
+  const RandomProgramOptions popts = shape_for(rng);
+  const mcapi::Program program = random_program(seed, popts);
+
+  // Whole-program ground truth: exhaustive explicit-state search.
+  ExplicitOptions eopts;
+  eopts.max_states = options.explicit_max_states;
+  ExplicitChecker explicit_checker(program, eopts);
+  const ExplicitResult truth = explicit_checker.run();
+  if (truth.truncated) {
+    ++report.skipped_truncated;
+    return;
+  }
+  if (truth.deadlock_found) {
+    // Random programs are deadlock-free by construction; a deadlock here
+    // means the generator (or the semantics) regressed.
+    mismatch(report, seed, "explicit checker found a deadlock in a generated "
+                           "program (generator invariant broken)");
+    return;
+  }
+
+  // DPOR explores the same transition system; verdicts must be identical.
+  DporOptions dopts;
+  dopts.max_transitions = options.dpor_max_transitions;
+  DporChecker dpor(program, dopts);
+  const DporResult dr = dpor.run();
+  if (dr.truncated) {
+    // The rest of the cross-check still runs; only the DPOR comparison is
+    // lost, so it gets its own counter instead of skipped_truncated.
+    ++report.dpor_skipped;
+  } else {
+    if (dr.violation_found != truth.violation_found) {
+      std::ostringstream os;
+      os << "DPOR/explicit verdict split: dpor=" << dr.violation_found
+         << " explicit=" << truth.violation_found;
+      mismatch(report, seed, os.str());
+    }
+    if (dr.deadlock_found) {
+      mismatch(report, seed, "DPOR found a deadlock the explicit checker did not");
+    }
+  }
+
+  ++report.programs;
+
+  for (std::uint32_t t = 0; t < options.traces_per_program; ++t) {
+    const std::uint64_t sched_seed = seed * 0x9e3779b97f4a7c15ULL + t;
+    static constexpr double kBiases[] = {1.0, 0.5, 2.0};
+    const double bias = kBiases[t % 3];
+
+    mcapi::System system(program);
+    trace::Trace tr(program);
+    trace::Recorder recorder(tr);
+    mcapi::RandomScheduler scheduler(sched_seed, bias);
+    const mcapi::RunResult run =
+        mcapi::run(system, scheduler, &recorder, options.run_max_steps);
+    if (run.outcome == mcapi::RunResult::Outcome::kStepLimit) {
+      ++report.skipped_truncated;
+      continue;
+    }
+    if (run.outcome == mcapi::RunResult::Outcome::kDeadlock) {
+      mismatch(report, seed, "concrete run deadlocked (generator invariant broken)");
+      continue;
+    }
+    const bool concrete_violation =
+        run.outcome == mcapi::RunResult::Outcome::kViolation;
+    if (concrete_violation && !truth.violation_found) {
+      mismatch(report, seed,
+               "concrete run violated an assertion the explicit checker missed");
+      continue;
+    }
+    if (const auto err = tr.validate()) {
+      // A violation can stop the run between a recv_i and its wait, leaving
+      // a structurally incomplete trace that is not a checkable artifact.
+      // Only a *completed* run owes us a well-formed trace.
+      if (concrete_violation) {
+        ++report.skipped_truncated;
+      } else {
+        mismatch(report, seed, "recorded trace failed validation: " + *err);
+      }
+      continue;
+    }
+
+    // With no assert events in the trace (and no extra properties), the
+    // encoder intentionally leaves ¬PProp unasserted, so check() degrades
+    // to a feasibility query: SAT is the only sound answer (the recorded
+    // run itself is a consistent execution) and the witness must replay
+    // without firing anything.
+    bool trace_has_asserts = false;
+    for (trace::EventIndex i = 0; i < tr.size(); ++i) {
+      if (tr.event(i).ev.kind == mcapi::ExecEvent::Kind::kAssert) {
+        trace_has_asserts = true;
+        break;
+      }
+    }
+
+    SymbolicChecker checker(tr);
+    const SymbolicVerdict verdict = checker.check();
+    ++report.traces;
+
+    switch (verdict.result) {
+      case smt::SolveResult::kSat: {
+        ++report.sat_verdicts;
+        const bool claims_violation =
+            trace_has_asserts;  // SAT = some consistent execution violates
+        if (claims_violation && !truth.violation_found) {
+          mismatch(report, seed,
+                   "symbolic SAT but explicit exhaustive search proves the "
+                   "program violation-free");
+          break;
+        }
+        if (!verdict.witness.has_value()) {
+          mismatch(report, seed, "SAT verdict carried no witness");
+          break;
+        }
+        if (options.check_witness_replay) {
+          const auto replayed =
+              schedule_from_witness(program, tr, *verdict.witness);
+          if (!replayed.has_value()) {
+            mismatch(report, seed,
+                     "SAT witness did not replay: schedule diverged from the "
+                     "runtime semantics");
+          } else if (replayed->violation != claims_violation) {
+            mismatch(report, seed,
+                     claims_violation
+                         ? "SAT witness replayed but no assertion fired "
+                           "during the replayed schedule"
+                         : "feasibility witness replayed with a violation on "
+                           "an assertion-free trace");
+          } else {
+            ++report.witnesses_replayed;
+          }
+        }
+        break;
+      }
+      case smt::SolveResult::kUnsat: {
+        ++report.unsat_verdicts;
+        if (!trace_has_asserts) {
+          mismatch(report, seed,
+                   "symbolic UNSAT on an assertion-free trace: the recorded "
+                   "run itself is a consistent execution");
+        } else if (concrete_violation) {
+          mismatch(report, seed,
+                   "symbolic UNSAT but the recorded run itself violated an "
+                   "assertion (the trace is a consistent execution)");
+        }
+        break;
+      }
+      case smt::SolveResult::kUnknown:
+        mismatch(report, seed, "symbolic checker returned kUnknown on an "
+                               "unbounded-budget query");
+        break;
+    }
+
+    // Matching-set enumeration: only meaningful when no assertion can end
+    // executions early (crossval_test precedent) — and only for complete
+    // recorded runs.
+    if (options.check_enumeration && !popts.add_asserts && run.completed()) {
+      match::FeasibleOptions fopts;
+      fopts.max_paths = options.feasible_max_paths;
+      const auto feas = match::enumerate_feasible(tr, fopts);
+
+      ExplicitOptions xopts;
+      xopts.collect_matchings = true;
+      xopts.max_states = options.explicit_max_states;
+      ExplicitChecker enumerator(program, xopts);
+      const auto exp = enumerator.enumerate_against(tr);
+
+      const SymbolicEnumeration sym = checker.enumerate_matchings();
+      if (feas.truncated || exp.truncated || sym.truncated) {
+        ++report.skipped_truncated;
+      } else {
+        if (sym.matchings != feas.matchings) {
+          std::ostringstream os;
+          os << "symbolic enumeration (" << sym.matchings.size()
+             << " matchings) != precise abstract execution ("
+             << feas.matchings.size() << ")";
+          mismatch(report, seed, os.str());
+        }
+        if (sym.matchings != exp.matchings) {
+          std::ostringstream os;
+          os << "symbolic enumeration (" << sym.matchings.size()
+             << " matchings) != explicit trace-filtered enumeration ("
+             << exp.matchings.size() << ")";
+          mismatch(report, seed, os.str());
+        }
+        ++report.enumerations_checked;
+      }
+    }
+  }
+}
+
+DifferentialReport run_differential(std::uint64_t base_seed,
+                                    const DifferentialOptions& options) {
+  DifferentialReport report;
+  for (std::uint64_t i = 0; i < options.iterations; ++i) {
+    // splitmix-style stream so adjacent iterations are uncorrelated while a
+    // mismatch still reports one self-contained seed.
+    const std::uint64_t seed = base_seed + i * 0x9e3779b97f4a7c15ULL;
+    differential_iteration(seed, options, report);
+  }
+  return report;
+}
+
+}  // namespace mcsym::check

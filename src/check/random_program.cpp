@@ -1,5 +1,6 @@
 #include "check/random_program.hpp"
 
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,23 @@ Program random_program(std::uint64_t seed, RandomProgramOptions options) {
       }
       if (options.add_assigns && rng.chance(1, 4)) {
         builders[t].assign("acc", builders[t].v(var, rng.range(-5, 5)));
+      }
+      if (options.add_asserts && rng.chance(1, 4)) {
+        // Compare the received value against a random payload constant.
+        // Payloads are globally unique (1..payload-1), so ==/!= asserts are
+        // racy precisely when the receive has several feasible senders.
+        // kEq is excluded: "v equals one specific payload" is nearly always
+        // violable and would skew the corpus toward trivial SATs.
+        static constexpr mcapi::Rel kRels[] = {
+            mcapi::Rel::kNe, mcapi::Rel::kLt, mcapi::Rel::kLe,
+            mcapi::Rel::kGe, mcapi::Rel::kGt};
+        const auto rel = kRels[rng.below(std::size(kRels))];
+        const std::int64_t bound = rng.range(1, payload > 1 ? payload - 1 : 1);
+        mcapi::Cond cond;
+        cond.lhs = builders[t].v(var);
+        cond.rel = rel;
+        cond.rhs = ThreadBuilder::c(bound);
+        builders[t].assert_that(cond);
       }
     }
     for (const std::uint32_t w : pending_waits) {

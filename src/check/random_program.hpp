@@ -22,6 +22,12 @@ struct RandomProgramOptions {
   bool allow_test_poll = false;            // sprinkle mcapi_test polls on requests
   bool allow_wait_any = false;             // consume some requests via wait_any
   bool add_assigns = true;                 // sprinkle var+const locals
+  /// Sprinkle `assert_that` checks over received values. Assertions compare
+  /// a received variable against a payload constant, so whether they can
+  /// fail depends on which send each receive matches — exactly the racy
+  /// reachability question the checkers must agree on. Programs stay
+  /// deadlock-free; a firing assertion merely ends the run early.
+  bool add_asserts = false;
 };
 
 /// Generates a finalized program; identical (seed, options) pairs yield

@@ -32,7 +32,14 @@ class Replayer {
   std::optional<ReplayedWitness> run() {
     build_timeline();
     for (const TimelineItem& item : timeline_) {
+      // A fired assertion is terminal in the runtime, while the model keeps
+      // valuing the rest of the execution; once the violation the witness
+      // promises is concrete, the remaining schedule is moot.
+      if (system_.has_violation()) break;
       if (item.is_bind ? !process_bind(item.event) : !process_event(item.event)) {
+        // Post-violation the system enables nothing, so a stalled item is
+        // the expected end of the run, not a divergence.
+        if (system_.has_violation()) break;
         return std::nullopt;
       }
     }
@@ -140,7 +147,12 @@ class Replayer {
   }
 
   bool verify() const {
-    // The replay's matching must be exactly the witness's.
+    // The replay's matching must be exactly the witness's — except when a
+    // violation ended the run early: the runtime stops at the first failed
+    // assertion while the model values the whole execution, so only the
+    // realized prefix can be compared (it must be a sub-multiset of what
+    // the witness promised).
+    const bool prefix_only = system_.has_violation();
     std::set<std::tuple<mcapi::ThreadRef, std::uint32_t, mcapi::ThreadRef,
                         std::uint32_t>>
         got;
@@ -155,7 +167,15 @@ class Replayer {
       const ExecEvent& se = trace_.event(s).ev;
       want.emplace(re.thread, re.op_index, se.thread, se.op_index);
     }
-    if (got != want) return false;
+    const bool match_ok =
+        prefix_only
+            ? std::includes(want.begin(), want.end(), got.begin(), got.end())
+            : got == want;
+    if (!match_ok) {
+      MCSYM_DEBUG("witness replay: matching mismatch, got " << got.size()
+                  << " records, want " << want.size());
+      return false;
+    }
 
     // Control flow must match the trace too: the problem quantifies only
     // over executions with the traced branch, poll, and wait_any outcomes.
@@ -179,7 +199,16 @@ class Replayer {
         want_flow.emplace(e.thread, e.op_index, true);
       }
     }
-    return got_flow == want_flow;
+    const bool flow_ok = prefix_only
+                             ? std::includes(want_flow.begin(), want_flow.end(),
+                                             got_flow.begin(), got_flow.end())
+                             : got_flow == want_flow;
+    if (!flow_ok) {
+      MCSYM_DEBUG("witness replay: control-flow mismatch, got "
+                  << got_flow.size() << " records, want " << want_flow.size());
+      return false;
+    }
+    return true;
   }
 
   const trace::Trace& trace_;

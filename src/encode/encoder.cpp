@@ -366,6 +366,32 @@ void Encoder::build_fifo(Encoding& enc) {
     const auto it = recvs_by_ep.find(channel.dst);
     if (it == recvs_by_ep.end()) continue;
     const auto& rs = it->second;
+
+    // Matched-prefix closure. The endpoint queue consumes each channel in
+    // delivery order, so a send can be received only if every earlier send
+    // on its channel is received as well: a trace that ends early (e.g. a
+    // violation stopped the run) may leave a *suffix* of a channel in
+    // transit, never an interior gap. Without this, the model can match a
+    // later send while an earlier one lingers unmatched — an execution the
+    // runtime cannot realize (witness replay would reject it).
+    auto matched = [&](EventIndex s) -> TermId {
+      const auto uid = static_cast<std::int64_t>(trace_.event(s).ev.uid);
+      std::vector<TermId> arms;
+      for (const EventIndex r : rs) {
+        if (matches_.contains(r, s)) {
+          arms.push_back(tt_.eq(enc.match_id.at(r), tt_.int_const(uid)));
+        }
+      }
+      return tt_.or_(arms);  // empty = kFalse: the send can never be matched
+    };
+    TermId prev_matched = matched(ss[0]);
+    for (std::size_t b = 1; b < ss.size(); ++b) {
+      const TermId cur_matched = matched(ss[b]);
+      fifo.push_back(tt_.implies(cur_matched, prev_matched));
+      prev_matched = cur_matched;
+      ++enc.stats.fifo_constraints;
+    }
+
     for (std::size_t a = 0; a < ss.size(); ++a) {
       for (std::size_t b = a + 1; b < ss.size(); ++b) {
         for (std::size_t i = 0; i < rs.size(); ++i) {

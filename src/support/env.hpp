@@ -1,0 +1,26 @@
+// Environment-variable knobs for test/bench scaling.
+//
+// CI wants fast deterministic runs; nightly wants depth. Iteration-count
+// style knobs (MCSYM_TEST_ITERS and friends) read through here so every
+// harness parses them identically: unset, empty, zero, or garbage values
+// all fall back to the caller's default.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+
+namespace mcsym::support {
+
+[[nodiscard]] inline std::uint64_t env_u64(const char* name,
+                                           std::uint64_t fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s < '0' || *s > '9') return fallback;  // no sign: strtoull would wrap "-5"
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0' || v == 0) return fallback;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace mcsym::support

@@ -13,6 +13,7 @@
 #include "mcapi/executor.hpp"
 #include "smt/solver.hpp"
 #include "smt/z3_backend.hpp"
+#include "support/env.hpp"
 #include "trace/trace.hpp"
 
 namespace mcsym::check {
@@ -184,8 +185,11 @@ TEST_P(CrossValidationTest, EncodingAgreesWithZ3) {
   EXPECT_EQ(ours, z3) << "seed=" << seed;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, CrossValidationTest,
-                         ::testing::Range<std::uint64_t>(0, 25));
+// Seed counts scale with MCSYM_TEST_ITERS (defaults match the historical
+// ranges; nightly runs crank the knob for depth).
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, CrossValidationTest,
+    ::testing::Range<std::uint64_t>(0, support::env_u64("MCSYM_TEST_ITERS", 25)));
 
 // Same battery with non-blocking receives mixed in.
 class CrossValidationNbTest : public ::testing::TestWithParam<std::uint64_t> {};
@@ -213,8 +217,10 @@ TEST_P(CrossValidationNbTest, SymbolicEqualsSkeletonDfsWithRecvI) {
       << "seed=" << seed;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, CrossValidationNbTest,
-                         ::testing::Range<std::uint64_t>(100, 120));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, CrossValidationNbTest,
+    ::testing::Range<std::uint64_t>(
+        100, 100 + support::env_u64("MCSYM_TEST_ITERS", 20)));
 
 }  // namespace
 }  // namespace mcsym::check

@@ -7,6 +7,7 @@
 #include "check/explicit_checker.hpp"
 #include "check/random_program.hpp"
 #include "check/workloads.hpp"
+#include "support/env.hpp"
 #include "mcapi/executor.hpp"
 
 namespace mcsym::check {
@@ -126,8 +127,12 @@ TEST_P(DporRandomTest, AgreesWithExplicitChecker) {
   EXPECT_EQ(er.deadlock_found, dr.deadlock_found) << GetParam();
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, DporRandomTest,
-                         ::testing::Range<std::uint64_t>(200, 220));
+// Seed count scales with MCSYM_TEST_ITERS (default matches the historical
+// range; nightly runs crank the knob for depth).
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DporRandomTest,
+    ::testing::Range<std::uint64_t>(
+        200, 200 + support::env_u64("MCSYM_TEST_ITERS", 20)));
 
 TEST(DporTest, IndependenceRelationBasics) {
   const mcapi::Program p = wl::figure1();

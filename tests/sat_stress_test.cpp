@@ -7,6 +7,7 @@
 
 #include "smt/sat_solver.hpp"
 #include "smt/solver.hpp"
+#include "support/env.hpp"
 #include "support/rng.hpp"
 
 namespace mcsym::smt {
@@ -17,11 +18,14 @@ Lit neg(Var v) { return Lit::make(v, true); }
 
 // Random 3-SAT near the phase transition, a batch of instances: together
 // they force enough conflicts that restarts, clause-database reduction and
-// the arena GC all trigger, and every SAT model must check out.
+// the arena GC all trigger, and every SAT model must check out. The batch
+// size scales with MCSYM_TEST_ITERS (10 in CI; crank it up for nightly
+// soaks); any failure names the instance's RNG seed.
 TEST(SatStressTest, PhaseTransitionInstancesExerciseReduction) {
   std::uint64_t total_conflicts = 0;
   std::uint64_t total_restarts = 0;
-  for (std::uint64_t seed = 90; seed < 100; ++seed) {
+  const std::uint64_t iters = support::env_u64("MCSYM_TEST_ITERS", 10);
+  for (std::uint64_t seed = 90; seed < 90 + iters; ++seed) {
     support::Rng rng(seed);
     SatSolver s;
     const unsigned n = 140;
@@ -39,7 +43,7 @@ TEST(SatStressTest, PhaseTransitionInstancesExerciseReduction) {
       s.add_clause(clause);
     }
     const SolveResult r = s.solve();
-    ASSERT_NE(r, SolveResult::kUnknown);
+    ASSERT_NE(r, SolveResult::kUnknown) << "seed=" << seed;
     if (r == SolveResult::kSat) {
       for (const auto& clause : clauses) {
         bool sat = false;

@@ -233,6 +233,58 @@ TEST(SmtLibParserErrorsTest, UnsupportedCommand) {
   EXPECT_NE(error_of("(push 1)").find("unsupported command"), std::string::npos);
 }
 
+TEST(SmtLibParserErrorsTest, MalformedSExpressions) {
+  // Every shape of broken surface syntax must come back as a diagnostic,
+  // never a crash or a silently-accepted script.
+  EXPECT_NE(error_of("()").find("expected a (command ...) form"),
+            std::string::npos);
+  EXPECT_NE(error_of("atom-at-top-level").find("expected a (command ...) form"),
+            std::string::npos);
+  EXPECT_NE(error_of("((nested) 1)").find("expected a (command ...) form"),
+            std::string::npos);
+  EXPECT_NE(error_of("(assert)").find("expected (assert term)"),
+            std::string::npos);
+  EXPECT_NE(error_of("(assert |unterminated").find("unterminated |symbol|"),
+            std::string::npos);
+  EXPECT_NE(error_of("(declare-fun)").find("expected (declare-fun"),
+            std::string::npos);
+  EXPECT_NE(error_of("(declare-fun x (Int) Int)").find("expected (declare-fun"),
+            std::string::npos)
+      << "non-zero arity is outside the fragment";
+  EXPECT_NE(error_of("(declare-const x)").find("expected (declare-const"),
+            std::string::npos);
+}
+
+TEST(SmtLibParserErrorsTest, UnknownOperatorSymbols) {
+  EXPECT_NE(error_of("(assert (foo 1))").find("unsupported boolean operator 'foo'"),
+            std::string::npos);
+  EXPECT_NE(error_of("(assert (- ))").find("unsupported boolean operator '-'"),
+            std::string::npos)
+      << "an integer operator in boolean position is diagnosed, not mangled";
+  // A numeral where a boolean term is required is a diagnostic too.
+  EXPECT_NE(error_of("(assert 5)"), "");
+}
+
+TEST(SmtLibParserErrorsTest, ArityErrors) {
+  EXPECT_NE(error_of("(assert (not))").find("'not' takes one argument"),
+            std::string::npos);
+  EXPECT_NE(error_of("(declare-fun b () Bool)(assert (not b b))")
+                .find("'not' takes one argument"),
+            std::string::npos);
+  EXPECT_NE(error_of("(declare-fun x () Int)(assert (< x))")
+                .find("'<' takes at least two arguments"),
+            std::string::npos);
+  EXPECT_NE(error_of("(assert (= ))").find("'=' takes at least two arguments"),
+            std::string::npos);
+  EXPECT_NE(error_of("(declare-fun b () Bool)(assert (ite b b))")
+                .find("'ite' takes three arguments"),
+            std::string::npos);
+  // Chained comparisons are n-ary in SMT-LIB; three operands are legal.
+  TermTable tt;
+  EXPECT_TRUE(
+      parse_smtlib(tt, "(declare-fun x () Int)(assert (< x 1 2))").ok());
+}
+
 TEST(SmtLibParserErrorsTest, ErrorsCarryLineNumbers) {
   const std::string err = error_of("(set-logic QF_IDL)\n\n(assert (< q 1))\n");
   EXPECT_NE(err.find("line 3"), std::string::npos) << err;

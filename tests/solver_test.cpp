@@ -263,6 +263,18 @@ TEST(CheckAssumingTest, RepeatedCallsGiveConsistentCores) {
   EXPECT_EQ(s.check(), SolveResult::kSat);
 }
 
+// The default build carries the stub backend (the z3_backend CMake option
+// is off): it must report itself unavailable cleanly so every cross-check
+// self-skips instead of crashing. When the real backend is linked in,
+// availability and the MCSYM_HAVE_Z3 define must agree.
+TEST(Z3BackendSmokeTest, AvailabilityMatchesBuildConfiguration) {
+#ifdef MCSYM_HAVE_Z3
+  EXPECT_TRUE(Z3Backend::available());
+#else
+  EXPECT_FALSE(Z3Backend::available());
+#endif
+}
+
 class Z3AgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(Z3AgreementTest, RandomFormulaSameVerdict) {

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs every bench binary and records Google-Benchmark JSON as
+# BENCH_<name>.json, so the perf trajectory is comparable commit to commit.
+#
+#   tools/run_benches.sh [build-dir]        # default: build
+#
+# Knobs:
+#   BENCH_OUT_DIR   where the .json files land (default: the build dir)
+#   BENCH_MIN_TIME  per-benchmark min time, e.g. 2s for stable numbers
+#                   (default 0.05s: quick smoke that still emits real data)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${BENCH_OUT_DIR:-$BUILD_DIR}"
+MIN_TIME="${BENCH_MIN_TIME:-0.05s}"
+
+benches=(
+  bench_encoding
+  bench_figure4
+  bench_matchgen
+  bench_nonblocking
+  bench_poll
+  bench_solver
+  bench_symbolic_vs_explicit
+)
+
+mkdir -p "$OUT_DIR"
+for b in "${benches[@]}"; do
+  exe="$BUILD_DIR/$b"
+  if [[ ! -x "$exe" ]]; then
+    echo "error: $exe not found or not executable (build first: cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+  fi
+  echo "== $b"
+  "$exe" --benchmark_min_time="$MIN_TIME" \
+         --benchmark_out="$OUT_DIR/BENCH_${b#bench_}.json" \
+         --benchmark_out_format=json
+done
+
+echo "wrote ${#benches[@]} BENCH_*.json files to $OUT_DIR"
