@@ -21,7 +21,7 @@ void mismatch(DifferentialReport& report, std::uint64_t seed, std::string detail
   report.mismatches.push_back({seed, std::move(detail)});
 }
 
-RandomProgramOptions shape_for(support::Rng& rng) {
+RandomProgramOptions shape_for(support::Rng& rng, bool allow_deadlocks) {
   RandomProgramOptions popts;
   popts.threads = 2 + static_cast<std::uint32_t>(rng.below(3));  // 2..4
   popts.max_sends_per_thread = 1 + static_cast<std::uint32_t>(rng.below(3));
@@ -32,7 +32,76 @@ RandomProgramOptions shape_for(support::Rng& rng) {
   popts.allow_test_poll = popts.allow_nonblocking && rng.chance(1, 2);
   popts.allow_wait_any = popts.allow_nonblocking && rng.chance(1, 2);
   popts.add_asserts = rng.chance(1, 2);
+  // Most deadlock-battery programs carry a deadlock mutation; the rest stay
+  // clean so the battery still exercises the "no deadlock" verdict.
+  popts.allow_deadlocks = allow_deadlocks && rng.chance(3, 4);
   return popts;
+}
+
+/// Replays a checker's deadlock schedule against the runtime (an empty
+/// schedule means the initial state itself deadlocks); records a mismatch
+/// tagged `who` unless it lands on a real deadlock.
+void replay_deadlock_schedule(const mcapi::Program& program,
+                              const std::vector<mcapi::Action>& schedule,
+                              const char* who, std::uint64_t seed,
+                              DifferentialReport& report) {
+  mcapi::System sys(program);
+  mcapi::ReplayScheduler replay(schedule);
+  if (mcapi::run(sys, replay, nullptr, schedule.size() + 1).outcome !=
+      mcapi::RunResult::Outcome::kDeadlock) {
+    mismatch(report, seed,
+             std::string(who) + " deadlock schedule did not replay to a deadlock");
+  } else {
+    ++report.deadlock_schedules_replayed;
+  }
+}
+
+/// Runs one DPOR configuration and cross-checks its verdicts against the
+/// explicit ground truth. Returns false when the run truncated.
+bool check_dpor(const mcapi::Program& program, const DifferentialOptions& options,
+                DporMode algorithm, const ExplicitResult& truth,
+                bool observers, std::uint64_t seed, DifferentialReport& report) {
+  DporOptions dopts;
+  dopts.algorithm = algorithm;
+  dopts.max_transitions = options.dpor_max_transitions;
+  DporChecker dpor(program, dopts);
+  const DporResult dr = dpor.run();
+  const char* name = algorithm == DporMode::kOptimal ? "optimal" : "sleep-set";
+  if (dr.truncated) return false;
+  if (dr.violation_found != truth.violation_found) {
+    std::ostringstream os;
+    os << "DPOR(" << name << ")/explicit verdict split: dpor="
+       << dr.violation_found << " explicit=" << truth.violation_found;
+    mismatch(report, seed, os.str());
+  }
+  // Every engine stops its search at the first violation, so which *other*
+  // terminal classes it saw first is exploration-order-dependent: deadlock
+  // verdicts are only comparable on violation-free programs.
+  if (!truth.violation_found && dr.deadlock_found != truth.deadlock_found) {
+    std::ostringstream os;
+    os << "DPOR(" << name << ")/explicit deadlock verdict split: dpor="
+       << dr.deadlock_found << " explicit=" << truth.deadlock_found;
+    mismatch(report, seed, os.str());
+  }
+  if (algorithm == DporMode::kOptimal && dr.stats.redundant_explorations != 0) {
+    if (observers) {
+      // Request observations (recv_i / test / wait_any) are observer-style
+      // dependence: a scheduled revisit can meet a flipped observation and
+      // end sleep-blocked. Counted, not a mismatch (see the report field).
+      report.optimal_redundant_paths += dr.stats.redundant_explorations;
+    } else {
+      std::ostringstream os;
+      os << "optimal DPOR reported " << dr.stats.redundant_explorations
+         << " redundant explorations on an observation-free program";
+      mismatch(report, seed, os.str());
+    }
+  }
+  if (dr.deadlock_found) {
+    const std::string who = std::string("DPOR(") + name + ")";
+    replay_deadlock_schedule(program, dr.deadlock_schedule, who.c_str(), seed,
+                             report);
+  }
+  return true;
 }
 
 }  // namespace
@@ -44,14 +113,17 @@ std::string DifferentialReport::summary() const {
      << witnesses_replayed << " witnesses replayed, " << enumerations_checked
      << " enumerations cross-checked, " << skipped_truncated
      << " skipped on budget, " << dpor_skipped << " DPOR-skipped, "
-     << mismatches.size() << " mismatches";
+     << deadlock_programs << " deadlock programs ("
+     << deadlock_schedules_replayed << " schedules replayed, "
+     << deadlocked_runs << " deadlocked runs), " << optimal_redundant_paths
+     << " observer-redundant paths, " << mismatches.size() << " mismatches";
   return os.str();
 }
 
 void differential_iteration(std::uint64_t seed, const DifferentialOptions& options,
                             DifferentialReport& report) {
   support::Rng rng(seed ^ 0x5eed5eed5eed5eedULL);
-  const RandomProgramOptions popts = shape_for(rng);
+  const RandomProgramOptions popts = shape_for(rng, options.allow_deadlocks);
   const mcapi::Program program = random_program(seed, popts);
 
   // Whole-program ground truth: exhaustive explicit-state search.
@@ -64,32 +136,36 @@ void differential_iteration(std::uint64_t seed, const DifferentialOptions& optio
     return;
   }
   if (truth.deadlock_found) {
-    // Random programs are deadlock-free by construction; a deadlock here
-    // means the generator (or the semantics) regressed.
-    mismatch(report, seed, "explicit checker found a deadlock in a generated "
-                           "program (generator invariant broken)");
-    return;
+    if (!popts.allow_deadlocks) {
+      // Such programs are deadlock-free by construction; a deadlock here
+      // means the generator (or the semantics) regressed.
+      mismatch(report, seed, "explicit checker found a deadlock in a generated "
+                             "program (generator invariant broken)");
+      return;
+    }
+    ++report.deadlock_programs;
+    // The deadlock verdict must come with a concretely replayable witness.
+    replay_deadlock_schedule(program, truth.deadlock_schedule, "explicit",
+                             seed, report);
   }
 
-  // DPOR explores the same transition system; verdicts must be identical.
-  DporOptions dopts;
-  dopts.max_transitions = options.dpor_max_transitions;
-  DporChecker dpor(program, dopts);
-  const DporResult dr = dpor.run();
-  if (dr.truncated) {
+  // DPOR explores the same transition system; verdicts must be identical —
+  // in optimal source-set/wakeup-tree mode and, for the A/B cross-check, in
+  // the sleep-set baseline too.
+  // Only test polls and wait_any scans *observe* pending requests (an
+  // enabled wait is always bound), so plain recv_i programs get the hard
+  // zero-redundancy check too.
+  const bool observers = popts.allow_test_poll || popts.allow_wait_any;
+  bool dpor_complete = check_dpor(program, options, DporMode::kOptimal, truth,
+                                  observers, seed, report);
+  if (options.check_dpor_modes) {
+    dpor_complete &= check_dpor(program, options, DporMode::kSleepSet, truth,
+                                observers, seed, report);
+  }
+  if (!dpor_complete) {
     // The rest of the cross-check still runs; only the DPOR comparison is
     // lost, so it gets its own counter instead of skipped_truncated.
     ++report.dpor_skipped;
-  } else {
-    if (dr.violation_found != truth.violation_found) {
-      std::ostringstream os;
-      os << "DPOR/explicit verdict split: dpor=" << dr.violation_found
-         << " explicit=" << truth.violation_found;
-      mismatch(report, seed, os.str());
-    }
-    if (dr.deadlock_found) {
-      mismatch(report, seed, "DPOR found a deadlock the explicit checker did not");
-    }
   }
 
   ++report.programs;
@@ -110,7 +186,19 @@ void differential_iteration(std::uint64_t seed, const DifferentialOptions& optio
       continue;
     }
     if (run.outcome == mcapi::RunResult::Outcome::kDeadlock) {
-      mismatch(report, seed, "concrete run deadlocked (generator invariant broken)");
+      if (!popts.allow_deadlocks) {
+        mismatch(report, seed, "concrete run deadlocked (generator invariant broken)");
+      } else if (!truth.deadlock_found && !truth.violation_found) {
+        // A concrete deadlock is a one-schedule witness the exhaustive
+        // search must have covered — unless that search stopped early at a
+        // violation, which makes its deadlock flag exploration-order noise.
+        mismatch(report, seed,
+                 "concrete run deadlocked but the explicit checker reports "
+                 "the program deadlock-free");
+      } else {
+        ++report.deadlocked_runs;
+      }
+      // A deadlocked run's trace is a prefix artifact, not a checkable one.
       continue;
     }
     const bool concrete_violation =

@@ -5,8 +5,14 @@
 // explicit-state checker, and the sleep-set DPOR checker, then asserts that
 // they tell one consistent story:
 //
-//  * explicit and DPOR explore the same whole-program transition system, so
-//    their violation/deadlock verdicts must be identical;
+//  * explicit and DPOR (optimal source-set/wakeup-tree mode and the
+//    sleep-set baseline alike) explore the same whole-program transition
+//    system, so their violation/deadlock verdicts must be identical — and
+//    optimal mode must report zero redundant explorations;
+//  * with allow_deadlocks, generated programs may hang (cyclic waits,
+//    missing sends, conditional handshakes): a deadlocked concrete run
+//    forces the whole-program deadlock verdict, and the explicit checker's
+//    deadlock schedule must replay to a real deadlock;
 //  * a symbolic SAT on any recorded trace exhibits a real execution, so the
 //    explicit checker must also report a violation, and the decoded witness
 //    must replay concretely (schedule_from_witness) and re-fire the
@@ -36,6 +42,17 @@ struct DifferentialOptions {
   std::uint32_t traces_per_program = 2;
   bool check_enumeration = true;      // 3-way matching-set comparison
   bool check_witness_replay = true;   // replay every SAT witness
+  /// Let the generator emit deadlock-capable shapes (cyclic channel waits,
+  /// missing sends, conditional handshakes): the battery then cross-checks
+  /// deadlocked() verdicts across the engines — explicit and both DPOR
+  /// modes must agree on reachability, a deadlocked concrete run forces the
+  /// whole-program verdict, and the explicit deadlock schedule must replay
+  /// to a real deadlock.
+  bool allow_deadlocks = false;
+  /// Cross-check the optimal DPOR against the sleep-set baseline too (A/B
+  /// of the two reductions, plus the redundant_explorations == 0 invariant
+  /// of optimal mode).
+  bool check_dpor_modes = true;
   // Exploration budgets are deliberately modest: a rare blowup program is
   // worth seconds of wall clock at most — it gets counted as skipped and
   // the harness moves on to the next seed.
@@ -59,6 +76,15 @@ struct DifferentialReport {
   std::uint64_t enumerations_checked = 0;
   std::uint64_t skipped_truncated = 0;  // budget-exceeded programs/traces
   std::uint64_t dpor_skipped = 0;       // programs whose DPOR run truncated
+  std::uint64_t deadlock_programs = 0;  // programs with a reachable deadlock
+  std::uint64_t deadlock_schedules_replayed = 0;
+  std::uint64_t deadlocked_runs = 0;    // concrete runs that deadlocked
+  /// Sleep-blocked paths optimal DPOR started on programs with request
+  /// observations (recv_i / test / wait_any). Observation outcomes are
+  /// observer-style dependence: a scheduled revisit can legitimately meet a
+  /// flipped observation and block, so a small count here is expected —
+  /// on observation-free programs any redundancy is a hard mismatch.
+  std::uint64_t optimal_redundant_paths = 0;
   std::vector<DifferentialMismatch> mismatches;
 
   [[nodiscard]] bool agreed() const { return mismatches.empty(); }

@@ -1,19 +1,31 @@
 #include "check/dpor.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "support/assert.hpp"
 #include "support/stats.hpp"
 
 namespace mcsym::check {
 
 using mcapi::Action;
+using mcapi::ActionFootprint;
 using mcapi::OpKind;
 using mcapi::System;
 
 DporChecker::DporChecker(const mcapi::Program& program, DporOptions options)
     : program_(program), options_(options) {}
 
+bool DporChecker::independent(const System& state, const Action& a,
+                              const Action& b) const {
+  if (a == b) return false;
+  return !mcapi::dependent(state.footprint(a), state.footprint(b),
+                           options_.mode);
+}
+
 namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
 bool is_internal_step(const System& state, const Action& a) {
   if (a.kind != Action::Kind::kThreadStep) return false;
@@ -31,40 +43,357 @@ bool is_internal_step(const System& state, const Action& a) {
   }
 }
 
-}  // namespace
-
-bool DporChecker::independent(const System& state, const Action& a,
-                              const Action& b) const {
-  if (a == b) return false;
-  const bool a_step = a.kind == Action::Kind::kThreadStep;
-  const bool b_step = b.kind == Action::Kind::kThreadStep;
-
-  if (a_step && b_step) {
-    if (a.thread == b.thread) return false;
-    if (options_.mode == mcapi::DeliveryMode::kGlobalFifo) {
-      // Send order fixes the global delivery order: sends interfere.
-      const auto ka = state.next_op_kind(a.thread);
-      const auto kb = state.next_op_kind(b.thread);
-      if (ka == OpKind::kSend && kb == OpKind::kSend) return false;
+/// Position of the first event of process `p` in `w` when that event
+/// commutes with everything before it (p is a weak initial of w); kNpos
+/// when p does not occur or cannot be brought to the front.
+std::size_t weak_initial_pos(const Action& p,
+                             const std::vector<ActionFootprint>& w,
+                             mcapi::DeliveryMode mode) {
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    if (!(w[j].action == p)) continue;
+    for (std::size_t l = 0; l < j; ++l) {
+      if (mcapi::dependent(w[l], w[j], mode)) return kNpos;
     }
-    return true;  // distinct threads touch disjoint local state and channels
+    return j;
   }
-  if (!a_step && !b_step) {
-    // Deliveries commute unless they feed the same endpoint queue.
-    return a.channel.dst != b.channel.dst;
-  }
-  // One step, one delivery: dependent only when the delivery feeds an
-  // endpoint owned by the stepping thread (receive/bind interference).
-  const Action& step = a_step ? a : b;
-  const Action& deliver = a_step ? b : a;
-  const auto owner = program_.endpoint(deliver.channel.dst).owner;
-  return owner != step.thread;
+  return kNpos;
 }
 
-void DporChecker::explore(const System& state, std::vector<Action>& sleep,
-                          std::vector<Action>& script, DporResult& result) {
+/// Ordered tree of scheduled revisit sequences (branches are paths from
+/// the root), per the POPL'14 wakeup-tree construction: insertion walks
+/// existing branches consuming weak initials of the new sequence, returns
+/// unchanged when an existing branch is already a weak prefix of it, and
+/// otherwise grafts the remainder as a fresh rightmost branch.
+class WakeupTree {
+ public:
+  [[nodiscard]] bool empty() const { return root_kids_.empty(); }
+
+  /// Inserts `w`; returns the number of nodes actually added.
+  std::size_t insert(std::vector<ActionFootprint> w, mcapi::DeliveryMode mode) {
+    std::uint32_t at = kRoot;
+    while (true) {
+      if (w.empty()) return 0;  // the walked path already covers w
+      if (at != kRoot && kids(at).empty()) return 0;  // existing leaf ⊑ w
+      bool descended = false;
+      for (const std::uint32_t c : kids(at)) {
+        const std::size_t j = weak_initial_pos(nodes_[c].ev.action, w, mode);
+        if (j == kNpos) continue;
+        w.erase(w.begin() + static_cast<std::ptrdiff_t>(j));
+        at = c;
+        descended = true;
+        break;
+      }
+      if (descended) continue;
+      std::size_t added = 0;
+      for (ActionFootprint& e : w) {
+        nodes_.push_back(Node{std::move(e), {}});
+        const auto idx = static_cast<std::uint32_t>(nodes_.size() - 1);
+        kids(at).push_back(idx);
+        at = idx;
+        ++added;
+      }
+      return added;
+    }
+  }
+
+  /// Detaches the leftmost branch: its first event plus the subtree below
+  /// it, which becomes the scheduled tree of the child exploration. Nodes
+  /// are moved out (their slots in this arena become unreachable garbage,
+  /// reclaimed when the frame's tree dies).
+  std::pair<ActionFootprint, WakeupTree> pop_first() {
+    MCSYM_ASSERT(!root_kids_.empty());
+    const std::uint32_t first = root_kids_.front();
+    root_kids_.erase(root_kids_.begin());
+    WakeupTree sub;
+    for (const std::uint32_t c : nodes_[first].kids) {
+      const std::uint32_t moved = sub.take_from(*this, c);
+      sub.root_kids_.push_back(moved);
+    }
+    return {std::move(nodes_[first].ev), std::move(sub)};
+  }
+
+ private:
+  struct Node {
+    ActionFootprint ev;
+    std::vector<std::uint32_t> kids;
+  };
+  static constexpr std::uint32_t kRoot = static_cast<std::uint32_t>(-1);
+
+  std::vector<std::uint32_t>& kids(std::uint32_t at) {
+    return at == kRoot ? root_kids_ : nodes_[at].kids;
+  }
+
+  std::uint32_t take_from(WakeupTree& other, std::uint32_t idx) {
+    nodes_.push_back(Node{std::move(other.nodes_[idx].ev), {}});
+    const auto mine = static_cast<std::uint32_t>(nodes_.size() - 1);
+    for (const std::uint32_t c : other.nodes_[idx].kids) {
+      const std::uint32_t moved = take_from(other, c);
+      nodes_[mine].kids.push_back(moved);
+    }
+    return mine;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> root_kids_;
+};
+
+/// One node of the exploration stack: the state reached by the executed
+/// prefix, the revisit sequences still scheduled here, and the sibling
+/// actions whose subtrees were already explored (asleep until woken by a
+/// dependent step).
+struct Frame {
+  System state;
+  WakeupTree wut;
+  std::vector<ActionFootprint> sleep;
+  ActionFootprint chosen;
+  bool chosen_internal = false;
+  bool started = false;
+
+  explicit Frame(System s) : state(std::move(s)) {}
+};
+
+}  // namespace
+
+void DporChecker::run_optimal(DporResult& result) {
+  const mcapi::DeliveryMode mode = options_.mode;
+  DporStats& st = result.stats;
+
+  std::vector<Frame> stack;
+  stack.emplace_back(System(program_, mode));
+  std::vector<ActionFootprint> events;  // E: footprints of the executed prefix
+  std::vector<std::vector<bool>> hb;    // hb[i][k]: E[k] happens-before E[i]
+  std::vector<Action> enabled;
+
+  auto actions_of_prefix = [&events] {
+    std::vector<Action> script;
+    script.reserve(events.size());
+    for (const ActionFootprint& e : events) script.push_back(e.action);
+    return script;
+  };
+
+  // Pops the completed top frame; the parent's chosen action falls asleep
+  // for the parent's remaining branches.
+  auto pop_frame = [&] {
+    stack.pop_back();
+    if (stack.empty()) return;
+    Frame& parent = stack.back();
+    events.pop_back();
+    hb.pop_back();
+    if (!parent.chosen_internal) parent.sleep.push_back(parent.chosen);
+  };
+
+  // Appends ev's happens-before row, then scans the prefix for reversible
+  // races ending in ev and schedules their reversal sequences
+  // (notdep(e,E)·proc(ev)) at the frame before the raced event.
+  auto append_event = [&](const ActionFootprint& ev) {
+    const std::size_t n = events.size();
+    std::vector<bool> row(n, false);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (mcapi::dependent(events[k], ev, mode)) {
+        row[k] = true;
+        const std::vector<bool>& below = hb[k];
+        for (std::size_t l = 0; l < below.size(); ++l) {
+          if (below[l]) row[l] = true;
+        }
+      }
+    }
+    events.push_back(ev);
+    hb.push_back(std::move(row));
+    if (ev.internal) return;  // internal steps race with nothing
+
+    for (std::size_t k = n; k-- > 0;) {
+      const ActionFootprint& ek = events[k];
+      if (ek.internal) continue;
+      if (ek.action == ev.action) continue;  // program order, not a race
+      if (!hb[n][k]) continue;
+      if (!mcapi::dependent(ek, ev, mode)) continue;  // ordered transitively
+      bool adjacent = true;  // no event happens-between ek and ev
+      for (std::size_t m = k + 1; m < n && adjacent; ++m) {
+        if (hb[m][k] && hb[n][m]) adjacent = false;
+      }
+      if (!adjacent) continue;
+
+      // Candidate reversal: everything after ek not causally behind it,
+      // then the racing process itself.
+      std::vector<ActionFootprint> v;
+      for (std::size_t j = k + 1; j < n; ++j) {
+        if (!hb[j][k]) v.push_back(events[j]);
+      }
+      v.push_back(ev);
+
+      // Reversibility check against the real semantics: a purely causal
+      // pair (a send vs. the delivery of its own message, a delivery vs.
+      // the wait it unblocks) leaves the final action disabled. A reversal
+      // that runs into an assertion violation is kept: the exploration
+      // must reach that violation. Hot-path exception: two deliveries
+      // racing for one endpoint (the only dependent delivery pair under
+      // arbitrary delay) are always reversible — the reversal's causal
+      // prefix keeps both messages in transit — so they skip the
+      // simulation.
+      const bool deliver_pair =
+          mode == mcapi::DeliveryMode::kArbitraryDelay &&
+          ek.action.kind == Action::Kind::kDeliver &&
+          ev.action.kind == Action::Kind::kDeliver;
+      if (!deliver_pair) {
+        System sim = stack[k].state;
+        bool feasible = true;
+        for (const ActionFootprint& e : v) {
+          if (sim.has_violation()) break;
+          sim.enabled(enabled);
+          if (std::find(enabled.begin(), enabled.end(), e.action) ==
+              enabled.end()) {
+            feasible = false;
+            break;
+          }
+          sim.apply(e.action);
+        }
+        if (!feasible) continue;
+      }
+      ++st.races_detected;
+
+      // Skip when an explored sibling still asleep at the target already
+      // covers the class (q is a weak initial of v: the q-subtree explored
+      // v's trace).
+      bool covered = false;
+      for (const ActionFootprint& q : stack[k].sleep) {
+        if (weak_initial_pos(q.action, v, mode) != kNpos) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) continue;
+      st.wakeup_nodes += stack[k].wut.insert(std::move(v), mode);
+    }
+  };
+
+  while (!stack.empty()) {
+    if (st.transitions >= options_.max_transitions) {
+      result.truncated = true;
+      break;
+    }
+    const std::size_t top = stack.size() - 1;
+
+    if (!stack[top].started) {
+      if (stack[top].state.has_violation()) {
+        result.violation_found = true;
+        result.violation = stack[top].state.violation();
+        result.counterexample = actions_of_prefix();
+        ++st.executions;
+        break;
+      }
+      stack[top].state.enabled(enabled);
+      if (enabled.empty()) {
+        ++st.executions;
+        if (stack[top].state.all_halted()) {
+          ++st.terminal_states;
+        } else {
+          result.deadlock_found = true;
+          if (result.deadlock_schedule.empty()) {
+            result.deadlock_schedule = actions_of_prefix();
+          }
+        }
+        pop_frame();
+        continue;
+      }
+    }
+
+    if (!stack[top].wut.empty()) {
+      // Follow the next scheduled branch: a wakeup sequence, or the
+      // initial pick. Descendants keep consuming the detached subtree.
+      auto [ev, subtree] = stack[top].wut.pop_first();
+      stack[top].started = true;
+      bool asleep = false;
+      for (const ActionFootprint& q : stack[top].sleep) {
+        if (q.action == ev.action) {
+          asleep = true;
+          break;
+        }
+      }
+      stack[top].state.enabled(enabled);
+      const bool runnable =
+          std::find(enabled.begin(), enabled.end(), ev.action) != enabled.end();
+      if (asleep || !runnable) {
+        // Impossible for a faithful optimal construction; counted instead
+        // of asserted so tests pin the invariant (redundant == 0).
+        ++st.redundant_explorations;
+        ++st.executions;
+        continue;
+      }
+      // Recompute the footprint at the actual state so happens-before and
+      // race bookkeeping always see exact message identities.
+      const ActionFootprint fresh = stack[top].state.footprint(ev.action);
+      System next = stack[top].state;
+      next.apply(fresh.action);
+      ++st.transitions;
+      append_event(fresh);
+      stack[top].chosen = fresh;
+      stack[top].chosen_internal = fresh.internal;
+      Frame child(std::move(next));
+      child.wut = std::move(subtree);
+      if (fresh.internal) {
+        child.sleep = stack[top].sleep;  // nothing asleep depends on it
+      } else {
+        for (const ActionFootprint& q : stack[top].sleep) {
+          if (!mcapi::dependent(fresh, q, mode)) child.sleep.push_back(q);
+        }
+      }
+      stack.push_back(std::move(child));
+      continue;
+    }
+
+    if (stack[top].started) {
+      pop_frame();  // every scheduled branch explored
+      continue;
+    }
+
+    // Fresh node, nothing scheduled: take an internal step as a singleton
+    // ample set, else seed the wakeup tree with one arbitrary non-sleeping
+    // action — every other sibling will arrive via race reversals.
+    stack[top].state.enabled(enabled);
+    const Action* pick = nullptr;
+    for (const Action& a : enabled) {
+      if (is_internal_step(stack[top].state, a)) {
+        pick = &a;
+        break;
+      }
+    }
+    if (pick == nullptr) {
+      for (const Action& a : enabled) {
+        bool asleep = false;
+        for (const ActionFootprint& q : stack[top].sleep) {
+          if (q.action == a) {
+            asleep = true;
+            break;
+          }
+        }
+        if (!asleep) {
+          pick = &a;
+          break;
+        }
+      }
+    }
+    if (pick == nullptr) {
+      // Every enabled action is asleep: a sleep-set-blocked maximal path.
+      ++st.redundant_explorations;
+      ++st.executions;
+      stack[top].started = true;
+      pop_frame();
+      continue;
+    }
+    stack[top].wut.insert({stack[top].state.footprint(*pick)}, mode);
+    // The arrival checks (violation/terminal) ran this visit; marking the
+    // node started keeps the next iteration from redoing them before the
+    // branch executes.
+    stack[top].started = true;
+  }
+}
+
+void DporChecker::explore_sleepset(const System& state,
+                                   std::vector<Action>& sleep,
+                                   std::vector<Action>& script,
+                                   DporResult& result) {
   if (result.truncated || result.violation_found) return;
-  if (result.transitions >= options_.max_transitions) {
+  if (result.stats.transitions >= options_.max_transitions) {
     result.truncated = true;
     return;
   }
@@ -73,44 +402,49 @@ void DporChecker::explore(const System& state, std::vector<Action>& sleep,
     result.violation_found = true;
     result.violation = state.violation();
     result.counterexample = script;
+    ++result.stats.executions;
     return;
   }
 
   std::vector<Action> enabled;
   state.enabled(enabled);
   if (enabled.empty()) {
+    ++result.stats.executions;
     if (state.all_halted()) {
-      ++result.terminal_states;
+      ++result.stats.terminal_states;
     } else {
       result.deadlock_found = true;
+      if (result.deadlock_schedule.empty()) result.deadlock_schedule = script;
     }
     return;
   }
 
-  // Local-first ample set: an internal step is independent of everything and
-  // never disabled, so exploring it alone is sound — and the sleep set is
-  // unchanged (no sleeping action depends on it).
+  // Local-first ample set: an internal step is independent of everything
+  // and never disabled, so exploring it alone is sound — and the sleep set
+  // is unchanged (no sleeping action depends on it).
   for (const Action& a : enabled) {
     if (!is_internal_step(state, a)) continue;
     System next = state;
     next.apply(a);
-    ++result.transitions;
+    ++result.stats.transitions;
     script.push_back(a);
-    explore(next, sleep, script, result);
+    explore_sleepset(next, sleep, script, result);
     script.pop_back();
     return;
   }
 
   // Sleep-set exploration of the visible actions.
   std::vector<Action> done;
+  bool advanced = false;
   for (const Action& a : enabled) {
     if (std::find(sleep.begin(), sleep.end(), a) != sleep.end()) {
-      ++result.sleep_prunes;
+      ++result.stats.sleep_prunes;
       continue;
     }
+    advanced = true;
     System next = state;
     next.apply(a);
-    ++result.transitions;
+    ++result.stats.transitions;
 
     // Child's sleep set: previously slept or already-explored actions that
     // are independent of `a` stay asleep.
@@ -123,20 +457,30 @@ void DporChecker::explore(const System& state, std::vector<Action>& sleep,
     }
 
     script.push_back(a);
-    explore(next, child_sleep, script, result);
+    explore_sleepset(next, child_sleep, script, result);
     script.pop_back();
     if (result.truncated || result.violation_found) return;
     done.push_back(a);
+  }
+  if (!advanced) {
+    // Every enabled action was asleep: a sleep-set-blocked maximal path,
+    // the redundancy optimal mode eliminates.
+    ++result.stats.redundant_explorations;
+    ++result.stats.executions;
   }
 }
 
 DporResult DporChecker::run() {
   const support::Stopwatch timer;
   DporResult result;
-  System init(program_, options_.mode);
-  std::vector<Action> sleep;
-  std::vector<Action> script;
-  explore(init, sleep, script, result);
+  if (options_.algorithm == DporMode::kSleepSet) {
+    System init(program_, options_.mode);
+    std::vector<Action> sleep;
+    std::vector<Action> script;
+    explore_sleepset(init, sleep, script, result);
+  } else {
+    run_optimal(result);
+  }
   result.seconds = timer.seconds();
   return result;
 }

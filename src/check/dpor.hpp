@@ -1,26 +1,33 @@
-// Stateless search with sleep-set partial-order reduction — the Inspect
-// baseline of the paper's motivation (Yang et al., "Inspect: a runtime model
-// checker for multithreaded C programs"; Flanagan & Godefroid, POPL'05).
+// Stateless dynamic partial-order reduction over the MCAPI transition
+// system, in two strengths selected by DporMode:
 //
-// The paper argues for SMT-based symbolic pruning (Fusion-style) over
-// explicit DPOR enumeration; to reproduce that comparison honestly we need a
-// competent explicit baseline, not a naive one. This checker explores the
-// same transition system as ExplicitChecker but statelessly (no hashing,
-// like Inspect) with two sound reductions:
+//  * kSleepSet — the Inspect-style baseline of the paper's motivation
+//    (Flanagan & Godefroid, POPL'05; Yang et al.'s Inspect): local-first
+//    ample sets for internal steps plus sleep sets over the visible
+//    actions. Sound and complete, but it explores every enabled non-slept
+//    action at every state, so most explored paths end sleep-set blocked —
+//    work that grows combinatorially with the number of racing messages.
 //
-//  * local-first ample sets — a thread's internal step (assign, branch,
-//    assert, jump) is independent of every other action and cannot be
-//    disabled, so it is explored as a singleton ample set;
-//  * sleep sets — after exploring action `a` at a state, sibling branches
-//    carry `a` in their sleep set until a dependent action wakes it, so no
-//    Mazurkiewicz-equivalent interleaving is explored twice.
+//  * kOptimal — source-set DPOR with wakeup trees (Abdulla, Aronis,
+//    Jonsson, Sagonas: "Optimal dynamic partial order reduction",
+//    POPL'14/JACM'17, the technique behind the representative-execution
+//    generators of Maarand & Uustalu and MCA-aware dynamic verifiers): a
+//    vector-clock happens-before over the executed prefix detects
+//    reversible races as events are appended; each race schedules a
+//    minimal revisit sequence (notdep(e,E)·proc(e')) into the wakeup tree
+//    of the state before the race, unless a sleeping sibling already
+//    covers it. Exactly one maximal execution per Mazurkiewicz trace of
+//    the dependence relation is explored: redundant_explorations == 0.
 //
-// The independence relation is structural: thread steps of distinct threads
-// commute (sends only append to per-channel network queues); a delivery is
-// dependent only with deliveries to the same endpoint and with steps of the
-// endpoint's owner. Reduction applies to the arbitrary-delay semantics; for
-// DeliveryMode::kGlobalFifo the global send order makes sends interfere, so
-// sends are treated as pairwise dependent there (conservative, still sound).
+// Both modes share one dependence relation, derived from
+// mcapi::ActionFootprint pairs (mcapi/system.hpp): program order,
+// per-endpoint delivery order, the send -> deliver -> receive chain of
+// each message (by static send identity), the pending-request observations
+// of polls and wait_any, and — under DeliveryMode::kGlobalFifo — the
+// global send/delivery order. Race reversals are additionally validated by
+// simulating the candidate sequence against the real semantics, so purely
+// causal pairs (a send vs. the delivery of its own message) are never
+// scheduled as reversals.
 #pragma once
 
 #include <cstdint>
@@ -31,9 +38,30 @@
 
 namespace mcsym::check {
 
+enum class DporMode : std::uint8_t {
+  kOptimal,   // source sets + wakeup trees (default)
+  kSleepSet,  // historical baseline, kept for differential A/B
+};
+
 struct DporOptions {
   mcapi::DeliveryMode mode = mcapi::DeliveryMode::kArbitraryDelay;
+  DporMode algorithm = DporMode::kOptimal;
   std::uint64_t max_transitions = 50'000'000;
+};
+
+/// Exploration counters. `executions` counts every maximal explored path:
+/// completed runs (terminal_states), deadlocked runs, the violating run,
+/// and sleep-set-blocked abandonments (redundant_explorations). In optimal
+/// mode redundant_explorations must be 0 — every started execution is the
+/// unique representative of its Mazurkiewicz trace.
+struct DporStats {
+  std::uint64_t transitions = 0;
+  std::uint64_t executions = 0;
+  std::uint64_t terminal_states = 0;
+  std::uint64_t sleep_prunes = 0;            // sleep-set mode: branches cut
+  std::uint64_t races_detected = 0;          // optimal: reversible races found
+  std::uint64_t wakeup_nodes = 0;            // optimal: wakeup-tree nodes inserted
+  std::uint64_t redundant_explorations = 0;  // sleep-set-blocked maximal paths
 };
 
 struct DporResult {
@@ -41,10 +69,10 @@ struct DporResult {
   std::optional<mcapi::Violation> violation;
   std::vector<mcapi::Action> counterexample;
   bool deadlock_found = false;
+  /// Action schedule reaching the first deadlock found (replayable).
+  std::vector<mcapi::Action> deadlock_schedule;
 
-  std::uint64_t transitions = 0;
-  std::uint64_t terminal_states = 0;
-  std::uint64_t sleep_prunes = 0;  // branches cut by sleep sets
+  DporStats stats;
   bool truncated = false;
   double seconds = 0;
 };
@@ -55,14 +83,17 @@ class DporChecker {
 
   [[nodiscard]] DporResult run();
 
-  /// Structural independence of two enabled actions (exposed for testing).
+  /// Structural independence of two enabled actions (exposed for testing):
+  /// the negation of mcapi::dependent over their footprints at `state`.
   [[nodiscard]] bool independent(const mcapi::System& state,
                                  const mcapi::Action& a,
                                  const mcapi::Action& b) const;
 
  private:
-  void explore(const mcapi::System& state, std::vector<mcapi::Action>& sleep,
-               std::vector<mcapi::Action>& script, DporResult& result);
+  void run_optimal(DporResult& result);
+  void explore_sleepset(const mcapi::System& state,
+                        std::vector<mcapi::Action>& sleep,
+                        std::vector<mcapi::Action>& script, DporResult& result);
 
   const mcapi::Program& program_;
   DporOptions options_;

@@ -21,7 +21,34 @@ Program random_program(std::uint64_t seed, RandomProgramOptions options) {
     eps.push_back(p.add_endpoint("rep" + std::to_string(t), builders.back().ref()));
   }
 
-  // Sends first (deadlock freedom); count messages into each endpoint.
+  // Deadlock mutation (see the header): chosen up front because the cyclic
+  // variant must place its receives before the send phase. All extra rng
+  // draws stay inside this branch so deadlock-free seeds keep generating
+  // the exact programs they always did.
+  enum class DeadlockKind : std::uint8_t { kNone, kStarvation, kCyclic, kHandshake };
+  DeadlockKind dl = DeadlockKind::kNone;
+  std::uint32_t dl_a = 0;
+  std::uint32_t dl_b = 0;
+  if (options.allow_deadlocks) {
+    constexpr DeadlockKind kKinds[] = {DeadlockKind::kStarvation,
+                                       DeadlockKind::kCyclic,
+                                       DeadlockKind::kHandshake};
+    dl = kKinds[rng.below(std::size(kKinds))];
+    dl_a = static_cast<std::uint32_t>(rng.below(options.threads));
+    dl_b = (dl_a + 1 + static_cast<std::uint32_t>(rng.below(options.threads - 1))) %
+           options.threads;
+  }
+  // Receives already emitted before the send phase (they consume arrivals
+  // the per-thread drain loop must not double-count).
+  std::vector<std::uint32_t> early_recvs(options.threads, 0);
+  if (dl == DeadlockKind::kCyclic) {
+    builders[dl_a].recv(eps[dl_a], "cyc");
+    builders[dl_b].recv(eps[dl_b], "cyc");
+    early_recvs[dl_a] = 1;
+    early_recvs[dl_b] = 1;
+  }
+
+  // Sends next; count messages into each endpoint.
   std::vector<std::uint32_t> inbound(options.threads, 0);
   std::int64_t payload = 1;
   for (std::uint32_t t = 0; t < options.threads; ++t) {
@@ -32,12 +59,21 @@ Program random_program(std::uint64_t seed, RandomProgramOptions options) {
       ++inbound[dst];
     }
   }
+  if (dl == DeadlockKind::kCyclic) {
+    // Close the cycle: each partner's sends run only after its leading
+    // receive fired, so unless a third thread feeds one of the two
+    // endpoints, both block forever.
+    builders[dl_a].send(eps[dl_a], eps[dl_b], payload++);
+    ++inbound[dl_b];
+    builders[dl_b].send(eps[dl_b], eps[dl_a], payload++);
+    ++inbound[dl_a];
+  }
 
   // Receives (and occasional local noise) to drain every endpoint.
   for (std::uint32_t t = 0; t < options.threads; ++t) {
     std::uint32_t req = 0;
     std::vector<std::uint32_t> pending_waits;
-    for (std::uint32_t k = 0; k < inbound[t]; ++k) {
+    for (std::uint32_t k = 0; k < inbound[t] - early_recvs[t]; ++k) {
       const std::string var = "v" + std::to_string(k);
       if (options.allow_nonblocking && rng.chance(1, 3)) {
         builders[t].recv_nb(eps[t], var, req);
@@ -102,6 +138,27 @@ Program random_program(std::uint64_t seed, RandomProgramOptions options) {
         builders[t].wait(w);
       }
     }
+  }
+
+  if (dl == DeadlockKind::kHandshake && inbound[dl_a] > 0) {
+    // The partner's receive is fed only when dl_a's first received value
+    // passes the comparison — whether it does depends on which racing send
+    // the receive matched, so the deadlock is schedule-dependent.
+    mcapi::Cond cond;
+    cond.lhs = builders[dl_a].v("v0");
+    cond.rel = mcapi::Rel::kLt;
+    cond.rhs = ThreadBuilder::c(rng.range(1, payload > 1 ? payload - 1 : 1));
+    builders[dl_a].jump_if(cond, "dl_skip");
+    builders[dl_a].send(eps[dl_a], eps[dl_b], payload++);
+    builders[dl_a].label("dl_skip");
+    builders[dl_b].recv(eps[dl_b], "hs");
+  } else if (dl == DeadlockKind::kHandshake) {
+    dl = DeadlockKind::kStarvation;  // no received value to branch on
+  }
+  if (dl == DeadlockKind::kStarvation) {
+    // One receive beyond what the endpoint ever gets: starves in every
+    // schedule once the drain completes.
+    builders[dl_a].recv(eps[dl_a], "dlx");
   }
 
   p.finalize();

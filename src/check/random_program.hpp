@@ -1,11 +1,16 @@
-// Random deadlock-free MCAPI program generator (property-test fuel).
+// Random MCAPI program generator (property-test fuel).
 //
-// Shape: every thread performs all its sends before its receives, so sends
-// (which never block) are always drainable and every receive is eventually
-// satisfiable — generated programs always run to completion under any
-// scheduler. Receive counts are balanced per endpoint by construction.
-// Optionally mixes non-blocking receives (recv_i + deferred wait) and local
-// assigns so traces exercise the whole event vocabulary.
+// Default shape: every thread performs all its sends before its receives,
+// so sends (which never block) are always drainable and every receive is
+// eventually satisfiable — generated programs always run to completion
+// under any scheduler. Receive counts are balanced per endpoint by
+// construction. Optionally mixes non-blocking receives (recv_i + deferred
+// wait) and local assigns so traces exercise the whole event vocabulary.
+//
+// With allow_deadlocks the generator applies one seeded mutation that makes
+// deadlock states possible (see RandomProgramOptions::allow_deadlocks), so
+// differential harnesses can cross-check deadlocked() verdicts instead of
+// merely asserting they never occur.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +33,17 @@ struct RandomProgramOptions {
   /// reachability question the checkers must agree on. Programs stay
   /// deadlock-free; a firing assertion merely ends the run early.
   bool add_asserts = false;
+  /// Apply one seeded deadlock mutation, drawn from three families:
+  ///  * starvation — one extra receive beyond the messages its endpoint
+  ///    ever gets (deadlocks in every schedule);
+  ///  * cyclic waits — two threads that each receive before any of their
+  ///    sends, closed into a cycle by cross sends (deadlocks unless some
+  ///    third thread happens to feed the cycle: per-seed verdict);
+  ///  * conditional handshake — a thread sends to a waiting partner only
+  ///    when a received value passes a comparison, so the partner's receive
+  ///    starves in exactly the executions where the race resolves the other
+  ///    way (schedule-dependent deadlock, the interesting case).
+  bool allow_deadlocks = false;
 };
 
 /// Generates a finalized program; identical (seed, options) pairs yield

@@ -130,7 +130,17 @@ class Replayer {
   }
 
   void drain_internal() {
-    // All communication is processed; only trailing local ops remain.
+    // All communication is processed; only trailing local ops within the
+    // traced prefix remain. Each thread stops at its traced op horizon: on
+    // a violation trace the run stopped mid-program, and ops beyond the
+    // recorded prefix (an unissued recv_i, an unpolled test) are outside
+    // the modeled execution — stepping them would manufacture control
+    // records the trace never saw.
+    std::vector<std::uint32_t> horizon(system_.program().num_threads(), 0);
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+      const ExecEvent& e = trace_.event(static_cast<EventIndex>(i)).ev;
+      horizon[e.thread] = std::max(horizon[e.thread], e.op_index + 1);
+    }
     bool progressed = true;
     while (progressed && !system_.has_violation()) {
       progressed = false;
@@ -138,6 +148,7 @@ class Replayer {
       system_.enabled(enabled);
       for (const Action& a : enabled) {
         if (a.kind != Action::Kind::kThreadStep) continue;
+        if (system_.op_count(a.thread) >= horizon[a.thread]) continue;
         system_.apply(a);
         script_.push_back(a);
         progressed = true;

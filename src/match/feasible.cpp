@@ -2,8 +2,14 @@
 //
 // The skeleton fixes each thread's event sequence (the traced control flow)
 // and re-explores the two nondeterministic dimensions: thread interleaving
-// and network delivery order (per-channel FIFO). Data is irrelevant to
-// matching feasibility, so locals/branches/asserts are auto-advanced.
+// and network delivery order (per-channel FIFO). Locals are tracked
+// concretely along each abstract path (a receive's value is the payload of
+// the send it matched), because control must stay replayable: a branch
+// event only advances while evaluating its condition reproduces the traced
+// outcome — under an alternate matching that flips a branch, the thread is
+// stuck and the subtree contributes nothing, exactly like a poll whose
+// traced outcome can no longer occur. Assertions are auto-advanced
+// (enumeration is only meaningful on assertion-free paths).
 #include <algorithm>
 #include <deque>
 #include <unordered_set>
@@ -34,6 +40,11 @@ struct SkeletonState {
   std::vector<std::pair<EventIndex, EventIndex>> bindings;  // issue -> send
   Matching matching;
   std::uint64_t next_stamp = 1;
+  // Concrete data along this path: thread locals and the payload each send
+  // produced (both are deterministic functions of pos + matching, so they
+  // need not enter the dedup key).
+  std::vector<std::vector<std::int64_t>> locals;
+  std::vector<std::int64_t> send_value;  // indexed by send EventIndex
 };
 
 class Explorer {
@@ -46,6 +57,11 @@ class Explorer {
     init.pos.assign(trace_.num_threads(), 0);
     init.ep_queue.resize(trace_.program().num_endpoints());
     init.ep_pending.resize(trace_.program().num_endpoints());
+    init.locals.resize(trace_.num_threads());
+    for (mcapi::ThreadRef t = 0; t < trace_.num_threads(); ++t) {
+      init.locals[t].assign(trace_.program().thread(t).num_slots, 0);
+    }
+    init.send_value.assign(trace_.size(), 0);
     advance_internal(init);
     dfs(init);
     return std::move(result_);
@@ -72,7 +88,10 @@ class Explorer {
     return trace::kNoEvent;
   }
 
-  /// Steps through data-only events, which have no scheduling relevance.
+  /// Steps through local events, which have no scheduling relevance —
+  /// except that a branch may only advance while this path's data
+  /// reproduces the traced outcome (a stuck branch pins the thread, and
+  /// the subtree ends without a terminal).
   void advance_internal(SkeletonState& s) const {
     bool changed = true;
     while (changed) {
@@ -80,12 +99,20 @@ class Explorer {
       for (mcapi::ThreadRef t = 0; t < s.pos.size(); ++t) {
         const ExecEvent* e = current(s, t);
         if (e == nullptr) continue;
-        if (e->kind == ExecEvent::Kind::kAssign ||
-            e->kind == ExecEvent::Kind::kBranch ||
-            e->kind == ExecEvent::Kind::kAssert) {
-          ++s.pos[t];
-          changed = true;
+        switch (e->kind) {
+          case ExecEvent::Kind::kAssign:
+            s.locals[t][e->var_slot] = e->expr.eval(s.locals[t].data());
+            break;
+          case ExecEvent::Kind::kAssert:
+            break;  // enumeration is only meaningful on assertion-free paths
+          case ExecEvent::Kind::kBranch:
+            if (e->cond.eval(s.locals[t].data()) != e->outcome) continue;
+            break;
+          default:
+            continue;
         }
+        ++s.pos[t];
+        changed = true;
       }
     }
   }
@@ -116,12 +143,16 @@ class Explorer {
           s.transit.emplace_back(channel, std::deque<TransitMsg>{});
           it = std::prev(s.transit.end());
         }
-        it->second.push_back(TransitMsg{current_index(s, t), s.next_stamp++});
+        const EventIndex idx = current_index(s, t);
+        // The payload under *this* path's data, not the recorded run's.
+        s.send_value[idx] = e.expr.eval(s.locals[t].data());
+        it->second.push_back(TransitMsg{idx, s.next_stamp++});
         break;
       }
       case ExecEvent::Kind::kRecv: {
         auto& q = s.ep_queue[e.dst];
         MCSYM_ASSERT(!q.empty());
+        s.locals[t][e.var_slot] = s.send_value[q.front()];
         s.matching.emplace_back(current_index(s, t), q.front());
         q.pop_front();
         break;
@@ -138,12 +169,26 @@ class Explorer {
         }
         break;
       }
-      case ExecEvent::Kind::kWait:
-        break;  // enabledness already guaranteed the binding exists
+      case ExecEvent::Kind::kWait: {
+        // Enabledness already guaranteed the binding exists; the received
+        // value becomes visible here, as in the runtime.
+        const EventIndex issue = trace_.event(current_index(s, t)).issue_event;
+        s.locals[t][e.var_slot] = s.send_value[bound_send(s, issue)];
+        break;
+      }
       case ExecEvent::Kind::kTest:
-        break;  // enabledness already matched the traced poll outcome
-      case ExecEvent::Kind::kWaitAny:
-        break;  // enabledness already matched the traced winner
+        // Enabledness already matched the traced poll outcome.
+        s.locals[t][e.var_slot] = e.outcome ? 1 : 0;
+        break;
+      case ExecEvent::Kind::kWaitAny: {
+        // Enabledness already matched the traced winner: its buffer gets
+        // the matched payload, the index variable the traced position.
+        const trace::TraceEvent& te = trace_.event(current_index(s, t));
+        const ExecEvent& issue_ev = trace_.event(te.issue_event).ev;
+        s.locals[t][issue_ev.var_slot] = s.send_value[bound_send(s, te.issue_event)];
+        s.locals[t][e.var_slot] = e.winner_index;
+        break;
+      }
       default:
         MCSYM_UNREACHABLE("internal events are auto-advanced");
     }
@@ -280,6 +325,11 @@ class Explorer {
           }
           break;
         }
+        case ExecEvent::Kind::kBranch:
+          // advance_internal left this branch in place: the path's data
+          // cannot reproduce the traced outcome, so the thread is stuck.
+          enabled = false;
+          break;
         default:
           break;
       }

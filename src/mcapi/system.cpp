@@ -56,6 +56,127 @@ SendUid System::oldest_in_transit_uid() const {
   return best;
 }
 
+ActionFootprint System::footprint(const Action& action) const {
+  ActionFootprint f;
+  f.action = action;
+  if (action.kind == Action::Kind::kDeliver) {
+    f.channel = action.channel;
+    f.endpoint = action.channel.dst;
+    const auto it = std::find_if(transit_.begin(), transit_.end(),
+                                 [&](const auto& e) { return e.first == action.channel; });
+    if (it != transit_.end() && !it->second.empty()) {
+      const Message& m = it->second.front();
+      f.has_message = true;
+      f.message_thread = m.sender;
+      f.message_op = m.send_op;
+    }
+    return f;
+  }
+
+  const ThreadState& ts = threads_[action.thread];
+  if (ts.halted) {
+    f.internal = true;
+    return f;
+  }
+  f.op_index = ts.op_count;
+  const Instr& i = program_->thread(action.thread).code[ts.pc];
+  f.op = i.kind;
+  auto note_request = [&f](const Request& r) {
+    if (r.state == ReqState::kBound || r.state == ReqState::kConsumed) {
+      f.has_message = true;
+      f.message_thread = r.send_thread;
+      f.message_op = r.send_op_index;
+    } else if (r.state == ReqState::kPending) {
+      f.observed_pending.push_back(r.ep);
+    }
+  };
+  switch (i.kind) {
+    case OpKind::kSend:
+      f.channel = ChannelId{i.src, i.dst};
+      break;
+    case OpKind::kRecv:
+    case OpKind::kRecvNb: {
+      f.endpoint = i.dst;
+      const EndpointState& ep = endpoints_[i.dst];
+      if (!ep.queue.empty()) {  // the message this step will pop and bind
+        f.has_message = true;
+        f.message_thread = ep.queue.front().sender;
+        f.message_op = ep.queue.front().send_op;
+      }
+      break;
+    }
+    case OpKind::kWait:
+    case OpKind::kTest:
+      note_request(ts.requests[i.req]);
+      break;
+    case OpKind::kWaitAny:
+      // Mirror the runtime's scan: requests before the first bound one are
+      // observed pending; the winner's binding is consumed; later entries
+      // are never looked at.
+      for (const std::uint32_t r : i.reqs) {
+        const bool bound = ts.requests[r].state == ReqState::kBound;
+        note_request(ts.requests[r]);
+        if (bound) break;
+      }
+      break;
+    case OpKind::kAssign:
+    case OpKind::kJmp:
+    case OpKind::kJmpIf:
+    case OpKind::kAssert:
+    case OpKind::kNop:
+      f.internal = true;
+      break;
+  }
+  return f;
+}
+
+bool dependent(const ActionFootprint& a, const ActionFootprint& b,
+               DeliveryMode mode) {
+  if (a.action == b.action) return true;  // one process: totally ordered
+  const bool a_step = a.action.kind == Action::Kind::kThreadStep;
+  const bool b_step = b.action.kind == Action::Kind::kThreadStep;
+  if (a_step && b_step && a.action.thread == b.action.thread) return true;
+
+  if (!a_step && !b_step) {
+    // Deliveries into one endpoint queue compete for arrival order; under
+    // global FIFO every delivery is ordered by the global send order.
+    return a.channel.dst == b.channel.dst || mode == DeliveryMode::kGlobalFifo;
+  }
+
+  // The send -> deliver -> receive chain of one message: its producer, its
+  // delivery, and its consumer never commute (and form its causal spine).
+  const auto moves = [](const ActionFootprint& x, ThreadRef t, std::uint32_t op) {
+    return x.has_message && x.message_thread == t && x.message_op == op;
+  };
+  if (a_step && a.op == OpKind::kSend && moves(b, a.action.thread, a.op_index)) return true;
+  if (b_step && b.op == OpKind::kSend && moves(a, b.action.thread, b.op_index)) return true;
+  if (a.has_message && b.has_message && a.message_thread == b.message_thread &&
+      a.message_op == b.message_op) {
+    return true;
+  }
+
+  if (a_step && b_step) {
+    // Distinct threads touch distinct locals, request slots, and endpoint
+    // queues; only the global-FIFO send order makes sends interfere.
+    return mode == DeliveryMode::kGlobalFifo && a.op == OpKind::kSend &&
+           b.op == OpKind::kSend;
+  }
+
+  // One thread step, one delivery of some other message.
+  const ActionFootprint& step = a_step ? a : b;
+  const ActionFootprint& del = a_step ? b : a;
+  if (step.internal) return false;
+  // A delivery to an endpoint this step observed as pending could flip the
+  // observation (poll outcome, wait_any winner) if reordered across it.
+  for (const EndpointRef ep : step.observed_pending) {
+    if (ep == del.channel.dst) return true;
+  }
+  // Everything else commutes: a send appends behind the in-transit head the
+  // delivery pops; a recv/recv_i pops the delivered queue's front while the
+  // delivery pushes its back; waits touch only already-bound requests.
+  return false;
+}
+
 void System::enabled(std::vector<Action>& out) const {
   out.clear();
   if (violation_.has_value()) return;  // violations are terminal

@@ -115,6 +115,41 @@ struct Action {
   friend bool operator==(const Action&, const Action&) = default;
 };
 
+/// Static footprint of an action, computed against the state it is enabled
+/// in: which shared structures it will touch and which message (by static
+/// send identity) it moves or consumes. The partial-order-reduction
+/// checkers derive their independence and happens-before relations from
+/// footprint pairs without executing anything. A footprint stays valid as
+/// long as the acting process's causal prefix is preserved (nothing
+/// dependent with it executes in between), so DPOR may cache footprints in
+/// sleep sets and scheduled revisit sequences.
+struct ActionFootprint {
+  Action action;
+  OpKind op = OpKind::kNop;   // thread steps: the instruction kind
+  bool internal = false;      // pure thread-local step (assign/branch/...)
+  std::uint32_t op_index = 0; // thread steps: dynamic ordinal (send identity)
+  ChannelId channel{kNoEndpoint, kNoEndpoint};  // kSend target / kDeliver channel
+  EndpointRef endpoint = kNoEndpoint;  // endpoint queue popped (recv / recv_i)
+  // Message moved or consumed, by static send identity: the in-transit head
+  // a kDeliver moves, the queued head a recv/recv_i pops, the binding of a
+  // completed wait/wait_any/test.
+  bool has_message = false;
+  ThreadRef message_thread = 0;
+  std::uint32_t message_op = 0;
+  // Endpoints whose requests this step observes as still pending (a pending
+  // mcapi_test poll, the requests a wait_any scans past): reordering a
+  // delivery to such an endpoint across the step can change its outcome.
+  std::vector<EndpointRef> observed_pending;
+};
+
+/// Structural dependence of two action footprints: false only when the
+/// actions commute and neither can enable, disable, or feed the other —
+/// program order, per-endpoint delivery order, the send -> deliver ->
+/// receive chain of one message, pending-request observations, and (under
+/// kGlobalFifo) the global send/delivery order are all dependent.
+[[nodiscard]] bool dependent(const ActionFootprint& a, const ActionFootprint& b,
+                             DeliveryMode mode);
+
 /// Which receive (identified by thread + dynamic ordinal of the receive
 /// operation) consumed which send (identified statically by sender thread +
 /// ordinal, since per-run uids differ across interleavings). The explicit
@@ -200,6 +235,10 @@ class System {
     if (threads_[t].halted) return std::nullopt;
     return program_->thread(t).code[threads_[t].pc].kind;
   }
+
+  /// Footprint of `action` at this state (see ActionFootprint). Meaningful
+  /// for enabled actions; safe (but partial) on disabled ones.
+  [[nodiscard]] ActionFootprint footprint(const Action& action) const;
 
  private:
   enum class ReqState : std::uint8_t { kUnused, kPending, kBound, kConsumed };

@@ -1,0 +1,83 @@
+// Deterministic replay of the committed regression-seed corpus
+// (tests/corpus/seeds.txt): every seed the fuzzer ever flagged, plus
+// curated coverage pins, runs through one full differential iteration on
+// every CI build. Fast (each seed is one program) and budget-independent —
+// no MCSYM_TEST_ITERS scaling here, the corpus is the contract.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/differential.hpp"
+
+namespace mcsym::check {
+namespace {
+
+struct CorpusEntry {
+  std::string battery;
+  std::uint64_t seed = 0;
+};
+
+std::vector<CorpusEntry> load_corpus(std::string* error) {
+  const std::string path = std::string(MCSYM_CORPUS_DIR) + "/seeds.txt";
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return {};
+  }
+  std::vector<CorpusEntry> entries;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    CorpusEntry e;
+    if (!(fields >> e.battery)) continue;  // blank / comment-only line
+    if ((e.battery != "default" && e.battery != "deadlock") ||
+        !(fields >> e.seed)) {
+      *error = path + ":" + std::to_string(lineno) + ": malformed entry";
+      return {};
+    }
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+TEST(CorpusReplay, EverySeedStillAgrees) {
+  std::string error;
+  const std::vector<CorpusEntry> corpus = load_corpus(&error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_FALSE(corpus.empty()) << "empty corpus: seeds.txt lost its entries?";
+
+  for (const CorpusEntry& e : corpus) {
+    DifferentialOptions opts;
+    opts.allow_deadlocks = e.battery == "deadlock";
+    DifferentialReport report;
+    differential_iteration(e.seed, opts, report);
+    for (const DifferentialMismatch& m : report.mismatches) {
+      ADD_FAILURE() << e.battery << " seed=" << m.seed << ": " << m.detail;
+    }
+  }
+}
+
+TEST(CorpusReplay, ReplayIsDeterministic) {
+  std::string error;
+  const std::vector<CorpusEntry> corpus = load_corpus(&error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_FALSE(corpus.empty());
+
+  DifferentialOptions opts;
+  opts.allow_deadlocks = corpus.front().battery == "deadlock";
+  DifferentialReport a;
+  DifferentialReport b;
+  differential_iteration(corpus.front().seed, opts, a);
+  differential_iteration(corpus.front().seed, opts, b);
+  EXPECT_EQ(a.summary(), b.summary());
+}
+
+}  // namespace
+}  // namespace mcsym::check

@@ -1,6 +1,8 @@
-// Tests for the sleep-set partial-order-reduced stateless checker (the
-// Inspect-style baseline): agreement with the unreduced explicit checker on
-// verdicts, and actual pruning.
+// Tests for the partial-order-reduced stateless checkers: the optimal
+// source-set/wakeup-tree mode must explore exactly one execution per
+// Mazurkiewicz trace (redundant_explorations == 0, closed-form execution
+// counts on the workloads), the sleep-set baseline must stay sound, and
+// both must agree with the unreduced explicit checker on every verdict.
 #include <gtest/gtest.h>
 
 #include "check/dpor.hpp"
@@ -15,36 +17,48 @@ namespace {
 
 namespace wl = workloads;
 
+DporResult run_dpor(const mcapi::Program& p, DporMode mode,
+                    mcapi::DeliveryMode delivery = mcapi::DeliveryMode::kArbitraryDelay) {
+  DporOptions opts;
+  opts.algorithm = mode;
+  opts.mode = delivery;
+  DporChecker checker(p, opts);
+  return checker.run();
+}
+
 TEST(DporTest, FindsScatterGatherViolation) {
   const mcapi::Program p = wl::scatter_gather(2);
-  DporChecker checker(p);
-  const DporResult r = checker.run();
-  EXPECT_TRUE(r.violation_found);
-  ASSERT_TRUE(r.violation.has_value());
-  EXPECT_FALSE(r.counterexample.empty());
+  for (const auto mode : {DporMode::kOptimal, DporMode::kSleepSet}) {
+    const DporResult r = run_dpor(p, mode);
+    EXPECT_TRUE(r.violation_found);
+    ASSERT_TRUE(r.violation.has_value());
+    EXPECT_FALSE(r.counterexample.empty());
+  }
 }
 
 TEST(DporTest, CounterexampleReplays) {
   const mcapi::Program p = wl::scatter_gather(2);
-  DporChecker checker(p);
-  const DporResult r = checker.run();
-  ASSERT_TRUE(r.violation_found);
-  mcapi::System sys(p);
-  mcapi::ReplayScheduler replay(r.counterexample);
-  EXPECT_EQ(mcapi::run(sys, replay, nullptr, r.counterexample.size() + 1).outcome,
-            mcapi::RunResult::Outcome::kViolation);
+  for (const auto mode : {DporMode::kOptimal, DporMode::kSleepSet}) {
+    const DporResult r = run_dpor(p, mode);
+    ASSERT_TRUE(r.violation_found);
+    mcapi::System sys(p);
+    mcapi::ReplayScheduler replay(r.counterexample);
+    EXPECT_EQ(mcapi::run(sys, replay, nullptr, r.counterexample.size() + 1).outcome,
+              mcapi::RunResult::Outcome::kViolation);
+  }
 }
 
 TEST(DporTest, CleanProgramNoViolation) {
   const mcapi::Program p = wl::pipeline(3, 2);
-  DporChecker checker(p);
-  const DporResult r = checker.run();
-  EXPECT_FALSE(r.violation_found);
-  EXPECT_FALSE(r.deadlock_found);
-  EXPECT_GT(r.terminal_states, 0u);
+  for (const auto mode : {DporMode::kOptimal, DporMode::kSleepSet}) {
+    const DporResult r = run_dpor(p, mode);
+    EXPECT_FALSE(r.violation_found);
+    EXPECT_FALSE(r.deadlock_found);
+    EXPECT_GT(r.stats.terminal_states, 0u);
+  }
 }
 
-TEST(DporTest, DetectsDeadlock) {
+TEST(DporTest, DetectsDeadlockAndSchedulesReplay) {
   mcapi::Program p;
   auto a = p.add_thread("a");
   auto b = p.add_thread("b");
@@ -53,15 +67,23 @@ TEST(DporTest, DetectsDeadlock) {
   a.recv(ea, "x").send(ea, eb, 1);
   b.recv(eb, "y").send(eb, ea, 2);
   p.finalize();
-  DporChecker checker(p);
-  EXPECT_TRUE(checker.run().deadlock_found);
+  for (const auto mode : {DporMode::kOptimal, DporMode::kSleepSet}) {
+    const DporResult r = run_dpor(p, mode);
+    EXPECT_TRUE(r.deadlock_found);
+    // Both threads block on their very first instruction: the initial
+    // state itself is the deadlock, so the schedule is empty — and an
+    // empty schedule must still replay straight into the deadlock.
+    mcapi::System sys(p);
+    mcapi::ReplayScheduler replay(r.deadlock_schedule);
+    EXPECT_EQ(mcapi::run(sys, replay, nullptr, r.deadlock_schedule.size() + 1).outcome,
+              mcapi::RunResult::Outcome::kDeadlock);
+  }
 }
 
 TEST(DporTest, SleepSetsActuallyPrune) {
   const mcapi::Program p = wl::message_race(3, 1);
-  DporChecker reduced(p);
-  const DporResult r = reduced.run();
-  EXPECT_GT(r.sleep_prunes, 0u);
+  const DporResult r = run_dpor(p, DporMode::kSleepSet);
+  EXPECT_GT(r.stats.sleep_prunes, 0u);
 
   // The unreduced stateless tree: ExplicitChecker in matching-collection
   // mode with history memoization off explores the raw interleaving tree.
@@ -76,7 +98,87 @@ TEST(DporTest, SleepSetsActuallyPrune) {
   opts.dedup_histories = false;
   ExplicitChecker full(p, opts);
   const ExplicitResult fr = full.enumerate_against(tr);
-  EXPECT_LT(r.transitions, fr.transitions);
+  EXPECT_LT(r.stats.transitions, fr.transitions);
+}
+
+// The optimality theorem, pinned as closed forms: optimal mode explores
+// exactly one maximal execution per Mazurkiewicz trace. On the racing-
+// senders family the trace count equals the matching count,
+// (senders*msgs)! / (msgs!)^senders; on figure1 it is the paper's two
+// pairings (Figures 4a and 4b); fully deterministic workloads have one.
+TEST(DporTest, OptimalExploresOneExecutionPerTrace) {
+  struct Case {
+    mcapi::Program program;
+    std::uint64_t traces;
+    const char* name;
+  };
+  std::vector<Case> cases;
+  cases.push_back({wl::figure1(), 2, "figure1"});
+  cases.push_back({wl::message_race(2, 1), 2, "message_race(2,1)"});
+  cases.push_back({wl::message_race(3, 1), 6, "message_race(3,1)"});
+  cases.push_back({wl::message_race(2, 2), 6, "message_race(2,2)"});
+  cases.push_back({wl::message_race(3, 2), 90, "message_race(3,2)"});
+  cases.push_back({wl::pipeline(3, 2), 1, "pipeline(3,2)"});
+  cases.push_back({wl::ring(3), 1, "ring(3)"});
+  for (auto& c : cases) {
+    const DporResult opt = run_dpor(c.program, DporMode::kOptimal);
+    EXPECT_EQ(opt.stats.executions, c.traces) << c.name;
+    EXPECT_EQ(opt.stats.terminal_states, c.traces) << c.name;
+    EXPECT_EQ(opt.stats.redundant_explorations, 0u) << c.name;
+    // Sleep sets complete exactly one execution per trace too (their
+    // classic guarantee) but burn combinatorially many blocked paths on
+    // the way; optimal mode never starts them.
+    const DporResult sleep = run_dpor(c.program, DporMode::kSleepSet);
+    EXPECT_EQ(sleep.stats.terminal_states, c.traces) << c.name;
+    EXPECT_LE(opt.stats.executions, sleep.stats.executions) << c.name;
+    EXPECT_LE(opt.stats.transitions, sleep.stats.transitions) << c.name;
+  }
+}
+
+// n fully independent writers: the naive interleaving tree has (2n)!/2^n
+// schedules (n sends and n deliveries, per-thread order fixed) and the
+// sleep-set baseline still starts a blocked path for most of them, but
+// there is exactly one Mazurkiewicz trace — optimal mode explores it alone.
+TEST(DporTest, IndependentWritersExploreSingleTrace) {
+  mcapi::Program p;
+  std::vector<mcapi::ThreadBuilder> builders;
+  std::vector<mcapi::EndpointRef> eps;
+  for (int t = 0; t < 3; ++t) {
+    builders.push_back(p.add_thread("w" + std::to_string(t)));
+    eps.push_back(p.add_endpoint("we" + std::to_string(t), builders.back().ref()));
+  }
+  for (int t = 0; t < 3; ++t) builders[t].send(eps[t], eps[t], t + 1);
+  p.finalize();
+
+  const DporResult opt = run_dpor(p, DporMode::kOptimal);
+  EXPECT_EQ(opt.stats.executions, 1u);
+  EXPECT_EQ(opt.stats.transitions, 6u);  // 3 sends + 3 deliveries, once
+  EXPECT_EQ(opt.stats.races_detected, 0u);
+  EXPECT_EQ(opt.stats.redundant_explorations, 0u);
+
+  const DporResult sleep = run_dpor(p, DporMode::kSleepSet);
+  EXPECT_EQ(sleep.stats.terminal_states, 1u);
+  EXPECT_GT(sleep.stats.executions, 1u);  // blocked paths all the way down
+}
+
+// The ISSUE acceptance gate: on the BM_Dpor_MessageRace/3 instance
+// (message_race(3,2)) optimal mode explores at least 5x fewer executions
+// than the sleep-set baseline.
+TEST(DporTest, MessageRaceOptimalBeatsSleepSetsFiveFold) {
+  const mcapi::Program p = wl::message_race(3, 2);
+  const DporResult opt = run_dpor(p, DporMode::kOptimal);
+  const DporResult sleep = run_dpor(p, DporMode::kSleepSet);
+  EXPECT_EQ(opt.stats.redundant_explorations, 0u);
+  EXPECT_GE(sleep.stats.executions, 5 * opt.stats.executions)
+      << "optimal=" << opt.stats.executions
+      << " sleepset=" << sleep.stats.executions;
+}
+
+TEST(DporTest, WakeupTreeStatsPopulated) {
+  const DporResult r = run_dpor(wl::figure1(), DporMode::kOptimal);
+  EXPECT_GT(r.stats.races_detected, 0u);
+  EXPECT_GT(r.stats.wakeup_nodes, 0u);
+  EXPECT_EQ(r.stats.sleep_prunes, 0u);  // sleep-set-mode-only counter
 }
 
 TEST(DporTest, VerdictAgreesWithExplicitOnWorkloads) {
@@ -91,13 +193,18 @@ TEST(DporTest, VerdictAgreesWithExplicitOnWorkloads) {
   cases.push_back({wl::ring(3), "ring"});
   cases.push_back({wl::nonblocking_gather(2), "nonblocking_gather"});
   cases.push_back({wl::reversed_waits(), "reversed_waits"});
+  cases.push_back({wl::polling_race(2), "polling_race"});
+  cases.push_back({wl::branchy_race(), "branchy_race"});
   for (auto& c : cases) {
     ExplicitChecker explicit_checker(c.program);
-    DporChecker dpor(c.program);
     const ExplicitResult er = explicit_checker.run();
-    const DporResult dr = dpor.run();
-    EXPECT_EQ(er.violation_found, dr.violation_found) << c.name;
-    EXPECT_EQ(er.deadlock_found, dr.deadlock_found) << c.name;
+    for (const auto mode : {DporMode::kOptimal, DporMode::kSleepSet}) {
+      const DporResult dr = run_dpor(c.program, mode);
+      EXPECT_EQ(er.violation_found, dr.violation_found) << c.name;
+      EXPECT_EQ(er.deadlock_found, dr.deadlock_found) << c.name;
+    }
+    const DporResult opt = run_dpor(c.program, DporMode::kOptimal);
+    EXPECT_EQ(opt.stats.redundant_explorations, 0u) << c.name;
   }
 }
 
@@ -106,13 +213,13 @@ TEST(DporTest, MccModeStillSound) {
   // hashed explicit checker in the same mode.
   const auto [program, properties] = wl::figure1_with_property();
   (void)properties;
-  DporOptions opts;
-  opts.mode = mcapi::DeliveryMode::kGlobalFifo;
-  DporChecker dpor(program, opts);
-  EXPECT_FALSE(dpor.run().violation_found);  // MCC world misses the 4b bug
+  for (const auto mode : {DporMode::kOptimal, DporMode::kSleepSet}) {
+    const DporResult mcc = run_dpor(program, mode, mcapi::DeliveryMode::kGlobalFifo);
+    EXPECT_FALSE(mcc.violation_found);  // MCC world misses the 4b bug
 
-  DporChecker full(program);
-  EXPECT_TRUE(full.run().violation_found);  // delay world finds it
+    const DporResult full = run_dpor(program, mode);
+    EXPECT_TRUE(full.violation_found);  // delay world finds it
+  }
 }
 
 class DporRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
@@ -120,19 +227,41 @@ class DporRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(DporRandomTest, AgreesWithExplicitChecker) {
   const mcapi::Program p = random_program(GetParam());
   ExplicitChecker explicit_checker(p);
-  DporChecker dpor(p);
   const ExplicitResult er = explicit_checker.run();
-  const DporResult dr = dpor.run();
-  EXPECT_EQ(er.violation_found, dr.violation_found) << GetParam();
-  EXPECT_EQ(er.deadlock_found, dr.deadlock_found) << GetParam();
+  for (const auto mode : {DporMode::kOptimal, DporMode::kSleepSet}) {
+    const DporResult dr = run_dpor(p, mode);
+    EXPECT_EQ(er.violation_found, dr.violation_found) << GetParam();
+    EXPECT_EQ(er.deadlock_found, dr.deadlock_found) << GetParam();
+    if (mode == DporMode::kOptimal) {
+      EXPECT_EQ(dr.stats.redundant_explorations, 0u) << GetParam();
+    }
+  }
 }
 
-// Seed count scales with MCSYM_TEST_ITERS (default matches the historical
-// range; nightly runs crank the knob for depth).
+TEST_P(DporRandomTest, AgreesOnDeadlockCapablePrograms) {
+  RandomProgramOptions popts;
+  popts.allow_deadlocks = true;
+  popts.max_sends_per_thread = 2;
+  const mcapi::Program p = random_program(GetParam(), popts);
+  ExplicitChecker explicit_checker(p);
+  const ExplicitResult er = explicit_checker.run();
+  for (const auto mode : {DporMode::kOptimal, DporMode::kSleepSet}) {
+    const DporResult dr = run_dpor(p, mode);
+    EXPECT_EQ(er.violation_found, dr.violation_found) << GetParam();
+    EXPECT_EQ(er.deadlock_found, dr.deadlock_found) << GetParam();
+    if (mode == DporMode::kOptimal) {
+      EXPECT_EQ(dr.stats.redundant_explorations, 0u) << GetParam();
+    }
+  }
+}
+
+// Seed count scales with MCSYM_TEST_ITERS. The default is leaner than the
+// historical 20 now that the nightly deep tier cranks the knob; each seed
+// also runs twice (both DPOR modes).
 INSTANTIATE_TEST_SUITE_P(
     Seeds, DporRandomTest,
     ::testing::Range<std::uint64_t>(
-        200, 200 + support::env_u64("MCSYM_TEST_ITERS", 20)));
+        200, 200 + support::env_u64("MCSYM_TEST_ITERS", 12)));
 
 TEST(DporTest, IndependenceRelationBasics) {
   const mcapi::Program p = wl::figure1();
@@ -149,9 +278,64 @@ TEST(DporTest, IndependenceRelationBasics) {
   mcapi::Action del_e1;
   del_e1.kind = mcapi::Action::Kind::kDeliver;
   del_e1.channel = mcapi::ChannelId{2, 1};  // e2 -> e1 (owned by t1)
+  mcapi::Action del_x;
+  del_x.kind = mcapi::Action::Kind::kDeliver;
+  del_x.channel = mcapi::ChannelId{1, 0};  // e1 -> e0: same destination queue
   EXPECT_TRUE(checker.independent(sys, del_e0, del_e1));   // distinct endpoints
-  EXPECT_FALSE(checker.independent(sys, del_e0, step0));   // t0 owns e0
+  EXPECT_FALSE(checker.independent(sys, del_e0, del_x));   // race for e0 arrival
   EXPECT_TRUE(checker.independent(sys, del_e0, step2));    // t2 unrelated
+  // Refinement over the old owner-based relation: with nothing in transit
+  // and t0's receive not holding a queued message, the delivery and the
+  // receive share no message identity and commute; the causal pinning of a
+  // receive behind the delivery it pops is per-message (see
+  // MessageChainDependence), not per-endpoint-owner.
+  EXPECT_TRUE(checker.independent(sys, del_e0, step0));
+}
+
+// The dependence relation's message-chain precision: a send and the
+// delivery of a *different* in-transit message on the same channel commute
+// (append-back vs pop-front), while the delivery of the send's own message
+// is causally pinned behind it.
+TEST(DporTest, MessageChainDependence) {
+  mcapi::Program p;
+  auto a = p.add_thread("a");
+  auto b = p.add_thread("b");
+  const auto ea = p.add_endpoint("ea", a.ref());
+  const auto eb = p.add_endpoint("eb", b.ref());
+  a.send(ea, eb, 1).send(ea, eb, 2);
+  b.recv(eb, "x").recv(eb, "y");
+  p.finalize();
+
+  mcapi::System sys(p);
+  mcapi::Action step_a{mcapi::Action::Kind::kThreadStep, 0, {}};
+  mcapi::Action del;
+  del.kind = mcapi::Action::Kind::kDeliver;
+  del.channel = mcapi::ChannelId{ea, eb};
+
+  // Nothing in transit: the delivery footprint names no message, the
+  // pending send cannot feed it (their identities differ), so they commute.
+  DporChecker checker(p);
+  EXPECT_TRUE(checker.independent(sys, step_a, del));
+
+  sys.apply(step_a);  // send #0 now in transit
+  // The delivery would move exactly the message the *previous* send
+  // produced; the next send (op 1) still commutes with it.
+  EXPECT_TRUE(checker.independent(sys, step_a, del));
+  const auto fp_del = sys.footprint(del);
+  ASSERT_TRUE(fp_del.has_message);
+  EXPECT_EQ(fp_del.message_thread, 0u);
+  EXPECT_EQ(fp_del.message_op, 0u);
+  const auto fp_send = sys.footprint(step_a);
+  EXPECT_EQ(fp_send.op_index, 1u);
+  // Once message #0 is delivered, b's blocking recv will pop it; the
+  // delivery of message #1 (a different identity) commutes with that recv.
+  sys.apply(del);
+  sys.apply(step_a);  // send #1 in transit
+  mcapi::Action step_b{mcapi::Action::Kind::kThreadStep, 1, {}};
+  const auto fp_recv = sys.footprint(step_b);
+  ASSERT_TRUE(fp_recv.has_message);
+  EXPECT_EQ(fp_recv.message_op, 0u);  // pops the delivered #0 ...
+  EXPECT_TRUE(checker.independent(sys, step_b, del));  // ... not in-transit #1
 }
 
 }  // namespace
