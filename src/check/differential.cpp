@@ -40,14 +40,16 @@ RandomProgramOptions shape_for(support::Rng& rng, bool allow_deadlocks) {
 
 /// Replays a checker's deadlock schedule against the runtime (an empty
 /// schedule means the initial state itself deadlocks); records a mismatch
-/// tagged `who` unless it lands on a real deadlock.
-void replay_deadlock_schedule(const mcapi::Program& program,
+/// tagged `who` unless it lands on a real deadlock. `workspace` is the
+/// iteration's shared journaling System, rolled back to the initial state
+/// here instead of constructing a fresh one per schedule.
+void replay_deadlock_schedule(mcapi::System& workspace,
                               const std::vector<mcapi::Action>& schedule,
                               const char* who, std::uint64_t seed,
                               DifferentialReport& report) {
-  mcapi::System sys(program);
+  workspace.rollback(0);
   mcapi::ReplayScheduler replay(schedule);
-  if (mcapi::run(sys, replay, nullptr, schedule.size() + 1).outcome !=
+  if (mcapi::run(workspace, replay, nullptr, schedule.size() + 1).outcome !=
       mcapi::RunResult::Outcome::kDeadlock) {
     mismatch(report, seed,
              std::string(who) + " deadlock schedule did not replay to a deadlock");
@@ -58,9 +60,10 @@ void replay_deadlock_schedule(const mcapi::Program& program,
 
 /// Runs one DPOR configuration and cross-checks its verdicts against the
 /// explicit ground truth. Returns false when the run truncated.
-bool check_dpor(const mcapi::Program& program, const DifferentialOptions& options,
+bool check_dpor(mcapi::System& workspace, const DifferentialOptions& options,
                 DporMode algorithm, const ExplicitResult& truth,
                 bool observers, std::uint64_t seed, DifferentialReport& report) {
+  const mcapi::Program& program = workspace.program();
   DporOptions dopts;
   dopts.algorithm = algorithm;
   dopts.max_transitions = options.dpor_max_transitions;
@@ -98,7 +101,7 @@ bool check_dpor(const mcapi::Program& program, const DifferentialOptions& option
   }
   if (dr.deadlock_found) {
     const std::string who = std::string("DPOR(") + name + ")";
-    replay_deadlock_schedule(program, dr.deadlock_schedule, who.c_str(), seed,
+    replay_deadlock_schedule(workspace, dr.deadlock_schedule, who.c_str(), seed,
                              report);
   }
   return true;
@@ -126,6 +129,13 @@ void differential_iteration(std::uint64_t seed, const DifferentialOptions& optio
   const RandomProgramOptions popts = shape_for(rng, options.allow_deadlocks);
   const mcapi::Program program = random_program(seed, popts);
 
+  // One journaling workspace System serves every concrete execution of
+  // this iteration — recorded runs, deadlock-schedule replays, witness
+  // replays. rollback(0) walks it back to the initial state between uses,
+  // replacing a fresh System construction per schedule.
+  mcapi::System workspace(program);
+  workspace.enable_undo_log();
+
   // Whole-program ground truth: exhaustive explicit-state search.
   ExplicitOptions eopts;
   eopts.max_states = options.explicit_max_states;
@@ -145,7 +155,7 @@ void differential_iteration(std::uint64_t seed, const DifferentialOptions& optio
     }
     ++report.deadlock_programs;
     // The deadlock verdict must come with a concretely replayable witness.
-    replay_deadlock_schedule(program, truth.deadlock_schedule, "explicit",
+    replay_deadlock_schedule(workspace, truth.deadlock_schedule, "explicit",
                              seed, report);
   }
 
@@ -156,10 +166,10 @@ void differential_iteration(std::uint64_t seed, const DifferentialOptions& optio
   // enabled wait is always bound), so plain recv_i programs get the hard
   // zero-redundancy check too.
   const bool observers = popts.allow_test_poll || popts.allow_wait_any;
-  bool dpor_complete = check_dpor(program, options, DporMode::kOptimal, truth,
+  bool dpor_complete = check_dpor(workspace, options, DporMode::kOptimal, truth,
                                   observers, seed, report);
   if (options.check_dpor_modes) {
-    dpor_complete &= check_dpor(program, options, DporMode::kSleepSet, truth,
+    dpor_complete &= check_dpor(workspace, options, DporMode::kSleepSet, truth,
                                 observers, seed, report);
   }
   if (!dpor_complete) {
@@ -175,12 +185,12 @@ void differential_iteration(std::uint64_t seed, const DifferentialOptions& optio
     static constexpr double kBiases[] = {1.0, 0.5, 2.0};
     const double bias = kBiases[t % 3];
 
-    mcapi::System system(program);
+    workspace.rollback(0);
     trace::Trace tr(program);
     trace::Recorder recorder(tr);
     mcapi::RandomScheduler scheduler(sched_seed, bias);
     const mcapi::RunResult run =
-        mcapi::run(system, scheduler, &recorder, options.run_max_steps);
+        mcapi::run(workspace, scheduler, &recorder, options.run_max_steps);
     if (run.outcome == mcapi::RunResult::Outcome::kStepLimit) {
       ++report.skipped_truncated;
       continue;
@@ -254,7 +264,7 @@ void differential_iteration(std::uint64_t seed, const DifferentialOptions& optio
         }
         if (options.check_witness_replay) {
           const auto replayed =
-              schedule_from_witness(program, tr, *verdict.witness);
+              schedule_from_witness(workspace, tr, *verdict.witness);
           if (!replayed.has_value()) {
             mismatch(report, seed,
                      "SAT witness did not replay: schedule diverged from the "

@@ -137,29 +137,79 @@ class WakeupTree {
   std::vector<std::uint32_t> root_kids_;
 };
 
-/// One node of the exploration stack: the state reached by the executed
-/// prefix, the revisit sequences still scheduled here, and the sibling
-/// actions whose subtrees were already explored (asleep until woken by a
-/// dependent step).
+/// One node of the exploration stack: reduction bookkeeping only — the
+/// revisit sequences still scheduled here and the sibling actions whose
+/// subtrees were already explored (asleep until woken by a dependent
+/// step). The state itself lives in the single journaling System the
+/// search walks up and down; a frame's checkpoint is its depth, since
+/// apply() journals exactly one undo record per action.
 struct Frame {
-  System state;
   WakeupTree wut;
   std::vector<ActionFootprint> sleep;
   ActionFootprint chosen;
   bool chosen_internal = false;
   bool started = false;
-
-  explicit Frame(System s) : state(std::move(s)) {}
 };
 
 }  // namespace
 
-void DporChecker::run_optimal(DporResult& result) {
+bool DporChecker::over_time_budget(const support::Stopwatch& timer) const {
+  // Amortize the clock read over the *calls* (one per exploration-loop
+  // iteration / DFS entry), not over transitions: an iteration's race scan
+  // and feasibility simulations do unbounded work without advancing the
+  // transition counter, so a transition-keyed probe could overshoot the
+  // budget arbitrarily.
+  if (options_.max_seconds <= 0) return false;
+  if ((++budget_probe_ & 63u) != 0) return false;
+  return timer.seconds() > options_.max_seconds;
+}
+
+void DporChecker::run_optimal(DporResult& result,
+                              const support::Stopwatch& timer) {
   const mcapi::DeliveryMode mode = options_.mode;
   DporStats& st = result.stats;
 
+  // The one live System of the whole exploration: applied forward when a
+  // branch is taken, undone when a frame pops or a race simulation rewinds.
+  System sys(program_, mode);
+  sys.enable_undo_log();
+
+  // Counting fast path for race-reversal feasibility: in a program whose
+  // only operations are send / blocking recv / straight-line locals, an
+  // action's enabledness depends solely on a channel or endpoint queue
+  // LENGTH (sends always run, deliver needs a non-empty channel, recv a
+  // non-empty endpoint queue), and every footprinted op kind is fixed
+  // across replays (no data-dependent branches, no request observations,
+  // no asserts that could cut a simulation short). Candidate sequences can
+  // then be validated with pure integer counters over the footprints —
+  // no state mutation, no prefix restore. Anything richer (recv_i/wait,
+  // polls, wait_any, branches, asserts) or global-FIFO delivery falls back
+  // to the live-System simulation.
+  bool countable = mode == mcapi::DeliveryMode::kArbitraryDelay;
+  for (mcapi::ThreadRef t = 0; countable && t < program_.num_threads(); ++t) {
+    for (const mcapi::Instr& i : program_.thread(t).code) {
+      switch (i.kind) {
+        case OpKind::kRecvNb:
+        case OpKind::kWait:
+        case OpKind::kWaitAny:
+        case OpKind::kTest:
+        case OpKind::kAssert:
+        case OpKind::kJmpIf:
+          countable = false;
+          break;
+        default:
+          break;
+      }
+      if (!countable) break;
+    }
+  }
+  // Scratch counters reused across candidates: per-channel in-transit and
+  // per-endpoint delivered-queue lengths reconstructed at the race point.
+  std::vector<std::pair<mcapi::ChannelId, std::ptrdiff_t>> chan_len;
+  std::vector<std::ptrdiff_t> ep_len(program_.num_endpoints(), 0);
+
   std::vector<Frame> stack;
-  stack.emplace_back(System(program_, mode));
+  stack.emplace_back();
   std::vector<ActionFootprint> events;  // E: footprints of the executed prefix
   std::vector<std::vector<bool>> hb;    // hb[i][k]: E[k] happens-before E[i]
   std::vector<Action> enabled;
@@ -171,16 +221,71 @@ void DporChecker::run_optimal(DporResult& result) {
     return script;
   };
 
-  // Pops the completed top frame; the parent's chosen action falls asleep
-  // for the parent's remaining branches.
+  // Counting-based feasibility of a reversal candidate `v` at race point
+  // `k` (only valid when `countable`): reconstruct channel/endpoint queue
+  // lengths at state k by inverting the executed suffix against the live
+  // state, then run the candidate through the counters — a deliver needs
+  // its channel non-empty, a recv its endpoint queue non-empty, everything
+  // else always fires. Exact for countable programs because per-thread
+  // control is straight-line, so the footprinted op kinds replay as-is.
+  auto count_feasible = [&](std::size_t k,
+                            const std::vector<ActionFootprint>& v) {
+    chan_len.clear();
+    auto chan = [&](mcapi::ChannelId c) -> std::ptrdiff_t& {
+      for (auto& [id, len] : chan_len) {
+        if (id == c) return len;
+      }
+      chan_len.emplace_back(c, static_cast<std::ptrdiff_t>(sys.transit_size(c)));
+      return chan_len.back().second;
+    };
+    for (std::size_t e = 0; e < ep_len.size(); ++e) {
+      ep_len[e] = static_cast<std::ptrdiff_t>(
+          sys.queue_size(static_cast<mcapi::EndpointRef>(e)));
+    }
+    for (std::size_t j = events.size(); j-- > k;) {
+      const ActionFootprint& e = events[j];
+      if (e.action.kind == Action::Kind::kDeliver) {
+        ++chan(e.channel);
+        --ep_len[e.channel.dst];
+      } else if (e.op == OpKind::kSend) {
+        --chan(e.channel);
+      } else if (e.op == OpKind::kRecv) {
+        ++ep_len[e.endpoint];
+      }
+    }
+    for (const ActionFootprint& e : v) {
+      if (e.action.kind == Action::Kind::kDeliver) {
+        std::ptrdiff_t& len = chan(e.channel);
+        if (len <= 0) return false;
+        --len;
+        ++ep_len[e.channel.dst];
+      } else if (e.op == OpKind::kSend) {
+        ++chan(e.channel);
+      } else if (e.op == OpKind::kRecv) {
+        if (ep_len[e.endpoint] <= 0) return false;
+        --ep_len[e.endpoint];
+      }
+    }
+    return true;
+  };
+
+  // Pops the completed top frame, undoing its arrival action so the live
+  // System is back at the parent's state; the parent's chosen action falls
+  // asleep for the parent's remaining branches.
   auto pop_frame = [&] {
     stack.pop_back();
     if (stack.empty()) return;
     Frame& parent = stack.back();
     events.pop_back();
     hb.pop_back();
+    sys.undo();
     if (!parent.chosen_internal) parent.sleep.push_back(parent.chosen);
   };
+
+  // Direct-dependence scratch row, filled while the hb row is built and
+  // reused by the race scan (hb rows fold in the transitive closure, so
+  // they cannot answer "directly dependent" on their own).
+  std::vector<bool> direct_dep;
 
   // Appends ev's happens-before row, then scans the prefix for reversible
   // races ending in ev and schedules their reversal sequences
@@ -188,8 +293,10 @@ void DporChecker::run_optimal(DporResult& result) {
   auto append_event = [&](const ActionFootprint& ev) {
     const std::size_t n = events.size();
     std::vector<bool> row(n, false);
+    direct_dep.assign(n, false);
     for (std::size_t k = 0; k < n; ++k) {
       if (mcapi::dependent(events[k], ev, mode)) {
+        direct_dep[k] = true;
         row[k] = true;
         const std::vector<bool>& below = hb[k];
         for (std::size_t l = 0; l < below.size(); ++l) {
@@ -201,12 +308,15 @@ void DporChecker::run_optimal(DporResult& result) {
     hb.push_back(std::move(row));
     if (ev.internal) return;  // internal steps race with nothing
 
+    // Feasibility simulations rewind the live System; the scan visits
+    // race points in decreasing depth, so the rewind is monotone and the
+    // executed prefix is restored once at the end instead of per race.
+    std::size_t rewound = events.size();
     for (std::size_t k = n; k-- > 0;) {
       const ActionFootprint& ek = events[k];
       if (ek.internal) continue;
+      if (!direct_dep[k]) continue;  // independent or ordered transitively
       if (ek.action == ev.action) continue;  // program order, not a race
-      if (!hb[n][k]) continue;
-      if (!mcapi::dependent(ek, ev, mode)) continue;  // ordered transitively
       bool adjacent = true;  // no event happens-between ek and ev
       for (std::size_t m = k + 1; m < n && adjacent; ++m) {
         if (hb[m][k] && hb[n][m]) adjacent = false;
@@ -216,10 +326,24 @@ void DporChecker::run_optimal(DporResult& result) {
       // Candidate reversal: everything after ek not causally behind it,
       // then the racing process itself.
       std::vector<ActionFootprint> v;
+      v.reserve(n - k);
       for (std::size_t j = k + 1; j < n; ++j) {
         if (!hb[j][k]) v.push_back(events[j]);
       }
       v.push_back(ev);
+
+      // Skip when an explored sibling still asleep at the target already
+      // covers the class (q is a weak initial of v: the q-subtree explored
+      // v's trace). Checked before the feasibility simulation: coverage is
+      // a few integer comparisons, the simulation replays the candidate.
+      bool covered = false;
+      for (const ActionFootprint& q : stack[k].sleep) {
+        if (weak_initial_pos(q.action, v, mode) != kNpos) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) continue;
 
       // Reversibility check against the real semantics: a purely causal
       // pair (a send vs. the delivery of its own message, a delivery vs.
@@ -235,56 +359,59 @@ void DporChecker::run_optimal(DporResult& result) {
           ek.action.kind == Action::Kind::kDeliver &&
           ev.action.kind == Action::Kind::kDeliver;
       if (!deliver_pair) {
-        System sim = stack[k].state;
-        bool feasible = true;
-        for (const ActionFootprint& e : v) {
-          if (sim.has_violation()) break;
-          sim.enabled(enabled);
-          if (std::find(enabled.begin(), enabled.end(), e.action) ==
-              enabled.end()) {
-            feasible = false;
-            break;
+        if (countable) {
+          // Pure integer counting over the footprints; the live System is
+          // never touched (and no prefix restore is owed afterwards).
+          if (!count_feasible(k, v)) continue;
+        } else {
+          // Apply -> inspect -> undo on the live state: rewind to the
+          // frame before the raced event (checkpoint k = k events
+          // applied), run the candidate sequence, roll it back — all
+          // O(changed) queue motions, never a copy of the world.
+          sys.rollback(k);
+          rewound = k;
+          bool feasible = true;
+          for (const ActionFootprint& e : v) {
+            if (sys.has_violation()) break;
+            if (!sys.action_enabled(e.action)) {
+              feasible = false;
+              break;
+            }
+            sys.apply(e.action);
           }
-          sim.apply(e.action);
+          sys.rollback(k);
+          if (!feasible) continue;
         }
-        if (!feasible) continue;
       }
       ++st.races_detected;
-
-      // Skip when an explored sibling still asleep at the target already
-      // covers the class (q is a weak initial of v: the q-subtree explored
-      // v's trace).
-      bool covered = false;
-      for (const ActionFootprint& q : stack[k].sleep) {
-        if (weak_initial_pos(q.action, v, mode) != kNpos) {
-          covered = true;
-          break;
-        }
-      }
-      if (covered) continue;
       st.wakeup_nodes += stack[k].wut.insert(std::move(v), mode);
+    }
+    // Replay the executed prefix the simulations rewound.
+    for (std::size_t j = rewound; j < events.size(); ++j) {
+      sys.apply(events[j].action);
     }
   };
 
   while (!stack.empty()) {
-    if (st.transitions >= options_.max_transitions) {
+    if (st.transitions >= options_.max_transitions ||
+        over_time_budget(timer)) {
       result.truncated = true;
       break;
     }
     const std::size_t top = stack.size() - 1;
 
     if (!stack[top].started) {
-      if (stack[top].state.has_violation()) {
+      if (sys.has_violation()) {
         result.violation_found = true;
-        result.violation = stack[top].state.violation();
+        result.violation = sys.violation();
         result.counterexample = actions_of_prefix();
         ++st.executions;
         break;
       }
-      stack[top].state.enabled(enabled);
+      sys.enabled(enabled);
       if (enabled.empty()) {
         ++st.executions;
-        if (stack[top].state.all_halted()) {
+        if (sys.all_halted()) {
           ++st.terminal_states;
         } else {
           result.deadlock_found = true;
@@ -309,9 +436,7 @@ void DporChecker::run_optimal(DporResult& result) {
           break;
         }
       }
-      stack[top].state.enabled(enabled);
-      const bool runnable =
-          std::find(enabled.begin(), enabled.end(), ev.action) != enabled.end();
+      const bool runnable = sys.action_enabled(ev.action);
       if (asleep || !runnable) {
         // Impossible for a faithful optimal construction; counted instead
         // of asserted so tests pin the invariant (redundant == 0).
@@ -321,14 +446,13 @@ void DporChecker::run_optimal(DporResult& result) {
       }
       // Recompute the footprint at the actual state so happens-before and
       // race bookkeeping always see exact message identities.
-      const ActionFootprint fresh = stack[top].state.footprint(ev.action);
-      System next = stack[top].state;
-      next.apply(fresh.action);
+      const ActionFootprint fresh = sys.footprint(ev.action);
+      sys.apply(fresh.action);
       ++st.transitions;
       append_event(fresh);
       stack[top].chosen = fresh;
       stack[top].chosen_internal = fresh.internal;
-      Frame child(std::move(next));
+      Frame child;
       child.wut = std::move(subtree);
       if (fresh.internal) {
         child.sleep = stack[top].sleep;  // nothing asleep depends on it
@@ -349,10 +473,10 @@ void DporChecker::run_optimal(DporResult& result) {
     // Fresh node, nothing scheduled: take an internal step as a singleton
     // ample set, else seed the wakeup tree with one arbitrary non-sleeping
     // action — every other sibling will arrive via race reversals.
-    stack[top].state.enabled(enabled);
+    sys.enabled(enabled);
     const Action* pick = nullptr;
     for (const Action& a : enabled) {
-      if (is_internal_step(stack[top].state, a)) {
+      if (is_internal_step(sys, a)) {
         pick = &a;
         break;
       }
@@ -380,7 +504,7 @@ void DporChecker::run_optimal(DporResult& result) {
       pop_frame();
       continue;
     }
-    stack[top].wut.insert({stack[top].state.footprint(*pick)}, mode);
+    stack[top].wut.insert({sys.footprint(*pick)}, mode);
     // The arrival checks (violation/terminal) ran this visit; marking the
     // node started keeps the next iteration from redoing them before the
     // branch executes.
@@ -388,29 +512,30 @@ void DporChecker::run_optimal(DporResult& result) {
   }
 }
 
-void DporChecker::explore_sleepset(const System& state,
-                                   std::vector<Action>& sleep,
+void DporChecker::explore_sleepset(System& sys, std::vector<Action>& sleep,
                                    std::vector<Action>& script,
-                                   DporResult& result) {
+                                   DporResult& result,
+                                   const support::Stopwatch& timer) {
   if (result.truncated || result.violation_found) return;
-  if (result.stats.transitions >= options_.max_transitions) {
+  if (result.stats.transitions >= options_.max_transitions ||
+      over_time_budget(timer)) {
     result.truncated = true;
     return;
   }
 
-  if (state.has_violation()) {
+  if (sys.has_violation()) {
     result.violation_found = true;
-    result.violation = state.violation();
+    result.violation = sys.violation();
     result.counterexample = script;
     ++result.stats.executions;
     return;
   }
 
   std::vector<Action> enabled;
-  state.enabled(enabled);
+  sys.enabled(enabled);
   if (enabled.empty()) {
     ++result.stats.executions;
-    if (state.all_halted()) {
+    if (sys.all_halted()) {
       ++result.stats.terminal_states;
     } else {
       result.deadlock_found = true;
@@ -423,13 +548,14 @@ void DporChecker::explore_sleepset(const System& state,
   // and never disabled, so exploring it alone is sound — and the sleep set
   // is unchanged (no sleeping action depends on it).
   for (const Action& a : enabled) {
-    if (!is_internal_step(state, a)) continue;
-    System next = state;
-    next.apply(a);
+    if (!is_internal_step(sys, a)) continue;
+    const System::Checkpoint here = sys.checkpoint();
+    sys.apply(a);
     ++result.stats.transitions;
     script.push_back(a);
-    explore_sleepset(next, sleep, script, result);
+    explore_sleepset(sys, sleep, script, result, timer);
     script.pop_back();
+    sys.rollback(here);
     return;
   }
 
@@ -442,23 +568,25 @@ void DporChecker::explore_sleepset(const System& state,
       continue;
     }
     advanced = true;
-    System next = state;
-    next.apply(a);
-    ++result.stats.transitions;
 
     // Child's sleep set: previously slept or already-explored actions that
-    // are independent of `a` stay asleep.
+    // are independent of `a` stay asleep. Computed against the pre-step
+    // state, so it precedes the apply.
     std::vector<Action> child_sleep;
     for (const Action& b : sleep) {
-      if (independent(state, a, b)) child_sleep.push_back(b);
+      if (independent(sys, a, b)) child_sleep.push_back(b);
     }
     for (const Action& b : done) {
-      if (independent(state, a, b)) child_sleep.push_back(b);
+      if (independent(sys, a, b)) child_sleep.push_back(b);
     }
 
+    const System::Checkpoint here = sys.checkpoint();
+    sys.apply(a);
+    ++result.stats.transitions;
     script.push_back(a);
-    explore_sleepset(next, child_sleep, script, result);
+    explore_sleepset(sys, child_sleep, script, result, timer);
     script.pop_back();
+    sys.rollback(here);
     if (result.truncated || result.violation_found) return;
     done.push_back(a);
   }
@@ -474,12 +602,13 @@ DporResult DporChecker::run() {
   const support::Stopwatch timer;
   DporResult result;
   if (options_.algorithm == DporMode::kSleepSet) {
-    System init(program_, options_.mode);
+    System sys(program_, options_.mode);
+    sys.enable_undo_log();
     std::vector<Action> sleep;
     std::vector<Action> script;
-    explore_sleepset(init, sleep, script, result);
+    explore_sleepset(sys, sleep, script, result, timer);
   } else {
-    run_optimal(result);
+    run_optimal(result, timer);
   }
   result.seconds = timer.seconds();
   return result;

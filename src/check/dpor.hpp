@@ -28,6 +28,17 @@
 // simulating the candidate sequence against the real semantics, so purely
 // causal pairs (a send vs. the delivery of its own message) are never
 // scheduled as reversals.
+//
+// State management is checkpoint/undo, not copy-the-world: both modes keep
+// ONE live journaling System (System::enable_undo_log) walked up and down
+// the exploration stack — descending applies the chosen action, popping a
+// frame undoes it, and a frame's checkpoint is simply its depth (exactly
+// one undo record per applied action). Race-reversal simulation is
+// apply -> inspect -> undo on that same live state: rewind to the pre-race
+// frame, run the candidate sequence, roll it back, and replay the executed
+// suffix. Frames therefore store only reduction bookkeeping (wakeup tree,
+// sleep set, chosen footprint) plus the event's incrementally-built
+// happens-before row; no System is ever copied on the exploration path.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +46,7 @@
 #include <vector>
 
 #include "mcapi/system.hpp"
+#include "support/stats.hpp"
 
 namespace mcsym::check {
 
@@ -47,6 +59,11 @@ struct DporOptions {
   mcapi::DeliveryMode mode = mcapi::DeliveryMode::kArbitraryDelay;
   DporMode algorithm = DporMode::kOptimal;
   std::uint64_t max_transitions = 50'000'000;
+  /// Wall-clock budget in seconds; 0 = unlimited. Exceeding it abandons the
+  /// search with result.truncated set, exactly like max_transitions — the
+  /// guard the benches use to race the sleep-set baseline on instances
+  /// where it blows up combinatorially.
+  double max_seconds = 0;
 };
 
 /// Exploration counters. `executions` counts every maximal explored path:
@@ -59,7 +76,9 @@ struct DporStats {
   std::uint64_t executions = 0;
   std::uint64_t terminal_states = 0;
   std::uint64_t sleep_prunes = 0;            // sleep-set mode: branches cut
-  std::uint64_t races_detected = 0;          // optimal: reversible races found
+  std::uint64_t races_detected = 0;          // optimal: reversible races that
+                                             // were not already covered by a
+                                             // sleeping sibling
   std::uint64_t wakeup_nodes = 0;            // optimal: wakeup-tree nodes inserted
   std::uint64_t redundant_explorations = 0;  // sleep-set-blocked maximal paths
 };
@@ -90,13 +109,18 @@ class DporChecker {
                                  const mcapi::Action& b) const;
 
  private:
-  void run_optimal(DporResult& result);
-  void explore_sleepset(const mcapi::System& state,
-                        std::vector<mcapi::Action>& sleep,
-                        std::vector<mcapi::Action>& script, DporResult& result);
+  void run_optimal(DporResult& result, const support::Stopwatch& timer);
+  /// Sleep-set DFS over the live journaling `sys`: each visited action is
+  /// applied, explored, and rolled back to the frame's checkpoint.
+  void explore_sleepset(mcapi::System& sys, std::vector<mcapi::Action>& sleep,
+                        std::vector<mcapi::Action>& script, DporResult& result,
+                        const support::Stopwatch& timer);
+  [[nodiscard]] bool over_time_budget(const support::Stopwatch& timer) const;
 
   const mcapi::Program& program_;
   DporOptions options_;
+  // Clock-read amortization for over_time_budget (single-threaded runs).
+  mutable std::uint64_t budget_probe_ = 0;
 };
 
 }  // namespace mcsym::check

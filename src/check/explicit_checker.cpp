@@ -72,7 +72,7 @@ bool ExplicitChecker::record_terminal(const System& state, ExplicitResult& resul
          result.raw_matchings.size() < options_.max_matchings;
 }
 
-void ExplicitChecker::dfs(const System& state, std::vector<Action>& script,
+void ExplicitChecker::dfs(System& sys, std::vector<Action>& script,
                           ExplicitResult& result, const trace::Trace* reference) {
   if (result.truncated) return;
   if (result.violation_found && !options_.collect_matchings) return;
@@ -82,10 +82,10 @@ void ExplicitChecker::dfs(const System& state, std::vector<Action>& script,
   }
   ++result.states_expanded;
 
-  if (state.has_violation()) {
+  if (sys.has_violation()) {
     if (!result.violation_found) {
       result.violation_found = true;
-      result.violation = state.violation();
+      result.violation = sys.violation();
       result.counterexample = script;
     }
     // In enumeration mode keep exploring other schedules; a violating
@@ -94,10 +94,10 @@ void ExplicitChecker::dfs(const System& state, std::vector<Action>& script,
   }
 
   std::vector<Action> actions;
-  state.enabled(actions);
+  sys.enabled(actions);
   if (actions.empty()) {
-    if (state.all_halted()) {
-      if (!record_terminal(state, result, reference)) result.truncated = true;
+    if (sys.all_halted()) {
+      if (!record_terminal(sys, result, reference)) result.truncated = true;
     } else {
       result.deadlock_found = true;
       if (result.deadlock_schedule.empty()) result.deadlock_schedule = script;
@@ -106,26 +106,26 @@ void ExplicitChecker::dfs(const System& state, std::vector<Action>& script,
   }
 
   for (const Action& a : actions) {
-    System next = state;
-    next.apply(a);
+    // Checkpoint/undo fork: apply on the one live System, recurse, roll
+    // back — the undo record's O(changed) cells replace the old
+    // copy-the-world fork per branch.
+    const System::Checkpoint here = sys.checkpoint();
+    sys.apply(a);
+    ++result.transitions;
+    bool pruned = false;
     if (!options_.collect_matchings) {
-      const std::uint64_t fp = next.fingerprint();
-      if (!visited_.insert(fp).second) {
-        ++result.transitions;
-        continue;
-      }
+      pruned = !visited_.insert(sys.fingerprint()).second;
     } else if (options_.dedup_histories) {
       // The history fingerprint covers match/branch records, so identical
       // keys have identical suffix enumerations — pruning stays exact.
-      if (!visited_histories_.insert(next.history_fingerprint()).second) {
-        ++result.transitions;
-        continue;
-      }
+      pruned = !visited_histories_.insert(sys.history_fingerprint()).second;
     }
-    ++result.transitions;
-    script.push_back(a);
-    dfs(next, script, result, reference);
-    script.pop_back();
+    if (!pruned) {
+      script.push_back(a);
+      dfs(sys, script, result, reference);
+      script.pop_back();
+    }
+    sys.rollback(here);
     if (result.truncated) return;
     if (result.violation_found && !options_.collect_matchings) return;
   }
@@ -136,14 +136,15 @@ ExplicitResult ExplicitChecker::run() {
   ExplicitResult result;
   visited_.clear();
   visited_histories_.clear();
-  System init(program_, options_.mode);
+  System sys(program_, options_.mode);
+  sys.enable_undo_log();
   if (options_.collect_matchings) {
-    if (options_.dedup_histories) visited_histories_.insert(init.history_fingerprint());
+    if (options_.dedup_histories) visited_histories_.insert(sys.history_fingerprint());
   } else {
-    visited_.insert(init.fingerprint());
+    visited_.insert(sys.fingerprint());
   }
   std::vector<Action> script;
-  dfs(init, script, result, nullptr);
+  dfs(sys, script, result, nullptr);
   result.seconds = timer.seconds();
   return result;
 }
@@ -155,10 +156,11 @@ ExplicitResult ExplicitChecker::enumerate_against(const trace::Trace& reference)
   ExplicitResult result;
   visited_.clear();
   visited_histories_.clear();
-  System init(program_, options_.mode);
-  if (options_.dedup_histories) visited_histories_.insert(init.history_fingerprint());
+  System sys(program_, options_.mode);
+  sys.enable_undo_log();
+  if (options_.dedup_histories) visited_histories_.insert(sys.history_fingerprint());
   std::vector<Action> script;
-  dfs(init, script, result, &reference);
+  dfs(sys, script, result, &reference);
   options_.collect_matchings = saved;
   result.seconds = timer.seconds();
   return result;

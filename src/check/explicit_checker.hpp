@@ -74,8 +74,10 @@ class ExplicitChecker {
   [[nodiscard]] ExplicitResult enumerate_against(const trace::Trace& reference);
 
  private:
-  struct Frame;
-  void dfs(const mcapi::System& state, std::vector<mcapi::Action>& script,
+  /// DFS over the one live journaling System: each enabled action is
+  /// applied, explored, and undone back to the frame's checkpoint — no
+  /// per-branch System copies.
+  void dfs(mcapi::System& sys, std::vector<mcapi::Action>& script,
            ExplicitResult& result, const trace::Trace* reference);
   [[nodiscard]] bool record_terminal(const mcapi::System& state,
                                      ExplicitResult& result,

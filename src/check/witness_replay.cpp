@@ -5,6 +5,7 @@
 #include <set>
 #include <tuple>
 
+#include "support/assert.hpp"
 #include "support/log.hpp"
 
 namespace mcsym::check {
@@ -25,9 +26,9 @@ struct TimelineItem {
 
 class Replayer {
  public:
-  Replayer(const mcapi::Program& program, const trace::Trace& trace,
-           const encode::Witness& witness)
-      : trace_(trace), witness_(witness), system_(program) {}
+  Replayer(const trace::Trace& trace, const encode::Witness& witness,
+           System& system)
+      : trace_(trace), witness_(witness), system_(system) {}
 
   std::optional<ReplayedWitness> run() {
     build_timeline();
@@ -81,9 +82,7 @@ class Replayer {
   }
 
   bool apply(const Action& a) {
-    std::vector<Action> enabled;
-    system_.enabled(enabled);
-    if (std::find(enabled.begin(), enabled.end(), a) == enabled.end()) {
+    if (!system_.action_enabled(a)) {
       MCSYM_DEBUG("witness replay: action not enabled: "
                   << a.str(system_.program()));
       return false;
@@ -224,7 +223,7 @@ class Replayer {
 
   const trace::Trace& trace_;
   const encode::Witness& witness_;
-  System system_;
+  System& system_;
   std::vector<TimelineItem> timeline_;
   std::vector<Action> script_;
 };
@@ -234,7 +233,17 @@ class Replayer {
 std::optional<ReplayedWitness> schedule_from_witness(
     const mcapi::Program& program, const trace::Trace& trace,
     const encode::Witness& witness) {
-  return Replayer(program, trace, witness).run();
+  System system(program);
+  return Replayer(trace, witness, system).run();
+}
+
+std::optional<ReplayedWitness> schedule_from_witness(
+    mcapi::System& workspace, const trace::Trace& trace,
+    const encode::Witness& witness) {
+  MCSYM_ASSERT_MSG(workspace.undo_log_enabled(),
+                   "witness replay workspace needs enable_undo_log()");
+  workspace.rollback(0);
+  return Replayer(trace, witness, workspace).run();
 }
 
 }  // namespace mcsym::check

@@ -33,4 +33,14 @@ struct ReplayedWitness {
     const mcapi::Program& program, const trace::Trace& trace,
     const encode::Witness& witness);
 
+/// Same, but replays into `workspace` — a journaling System
+/// (enable_undo_log) for the trace's program, rolled back to its initial
+/// state first. Batch callers (the differential harness replays thousands
+/// of witnesses per run) reuse one workspace across schedules instead of
+/// constructing a fresh System each time; the workspace is left at the end
+/// of the replayed schedule.
+[[nodiscard]] std::optional<ReplayedWitness> schedule_from_witness(
+    mcapi::System& workspace, const trace::Trace& trace,
+    const encode::Witness& witness);
+
 }  // namespace mcsym::check

@@ -199,6 +199,24 @@ void System::enabled(std::vector<Action>& out) const {
   }
 }
 
+std::size_t System::transit_size(ChannelId channel) const {
+  const auto it = std::find_if(transit_.begin(), transit_.end(),
+                               [&](const auto& e) { return e.first == channel; });
+  return it == transit_.end() ? 0 : it->second.size();
+}
+
+bool System::action_enabled(const Action& action) const {
+  if (violation_.has_value()) return false;  // violations are terminal
+  if (action.kind == Action::Kind::kThreadStep) {
+    return thread_can_step(action.thread);
+  }
+  const auto it = std::find_if(transit_.begin(), transit_.end(),
+                               [&](const auto& e) { return e.first == action.channel; });
+  if (it == transit_.end() || it->second.empty()) return false;
+  return mode_ != DeliveryMode::kGlobalFifo ||
+         it->second.front().uid == oldest_in_transit_uid();
+}
+
 bool System::all_halted() const {
   return std::all_of(threads_.begin(), threads_.end(),
                      [](const ThreadState& t) { return t.halted; });
@@ -211,12 +229,110 @@ bool System::deadlocked() const {
   return acts.empty();
 }
 
+std::deque<Message>& System::transit_queue(ChannelId channel) {
+  const auto it = std::find_if(transit_.begin(), transit_.end(),
+                               [&](const auto& e) { return e.first == channel; });
+  MCSYM_ASSERT_MSG(it != transit_.end(), "no transit entry for channel");
+  return it->second;
+}
+
+System::Checkpoint System::checkpoint() const {
+  MCSYM_ASSERT_MSG(journaling_, "checkpoint() requires enable_undo_log()");
+  return undo_log_.size();
+}
+
 void System::apply(const Action& action, ExecSink* sink) {
-  if (action.kind == Action::Kind::kThreadStep) {
-    step_thread(action.thread, sink);
-  } else {
-    deliver(action.channel);
+  if (!journaling_) {  // keep the non-journaling hot path record-free
+    if (action.kind == Action::Kind::kThreadStep) {
+      step_thread(action.thread, sink, nullptr);
+    } else {
+      deliver(action.channel, nullptr);
+    }
+    return;
   }
+  UndoRecord rec;
+  if (action.kind == Action::Kind::kThreadStep) {
+    step_thread(action.thread, sink, &rec);
+  } else {
+    deliver(action.channel, &rec);
+  }
+  undo_log_.push_back(rec);
+}
+
+void System::undo() {
+  MCSYM_ASSERT_MSG(journaling_ && !undo_log_.empty(),
+                   "undo() without a journaled action");
+  const UndoRecord u = undo_log_.back();
+  undo_log_.pop_back();
+  using Tag = UndoRecord::Tag;
+
+  if (u.tag == Tag::kDeliverQueue || u.tag == Tag::kDeliverBind) {
+    if (u.tag == Tag::kDeliverQueue) {
+      std::deque<Message>& q = endpoints_[u.message.dst].queue;
+      MCSYM_ASSERT(!q.empty());
+      q.pop_back();
+    } else {
+      threads_[u.thread].requests[u.request_slot] = u.saved_request;
+      endpoints_[u.message.dst].pending.emplace_front(u.thread, u.request_slot);
+    }
+    transit_queue(u.channel).push_front(u.message);
+    return;
+  }
+
+  // Thread-step epilogue reversal.
+  ThreadState& ts = threads_[u.thread];
+  ts.halted = u.prev_halted;
+  ts.pc = u.prev_pc;
+  --ts.op_count;
+  if (u.fired_violation) violation_.reset();
+  for (std::uint8_t k = u.locals_written; k-- > 0;) {
+    ts.locals[u.local_slot[k]] = u.local_old[k];
+  }
+  if (u.touched_request) ts.requests[u.request_slot] = u.saved_request;
+  matches_.resize(matches_.size() - u.matches_pushed);
+  branches_.resize(branches_.size() - u.branches_pushed);
+
+  switch (u.tag) {
+    case Tag::kSend: {
+      std::deque<Message>& q = transit_queue(u.channel);
+      MCSYM_ASSERT(!q.empty());
+      q.pop_back();
+      --next_uid_;
+      if (u.created_channel) {
+        // LIFO undo order guarantees entries opened by later sends are
+        // already gone, so the one this send created is still last.
+        MCSYM_ASSERT(transit_.back().first == u.channel &&
+                     transit_.back().second.empty());
+        transit_.pop_back();
+      }
+      break;
+    }
+    case Tag::kRecv:
+    case Tag::kRecvNbBound:
+      endpoints_[u.endpoint].queue.push_front(u.message);
+      break;
+    case Tag::kRecvNbPending: {
+      std::deque<std::pair<ThreadRef, std::uint32_t>>& pending =
+          endpoints_[u.endpoint].pending;
+      MCSYM_ASSERT(!pending.empty() && pending.back().first == u.thread &&
+                   pending.back().second == u.request_slot);
+      pending.pop_back();
+      break;
+    }
+    case Tag::kLocalOnly:
+    case Tag::kWait:
+    case Tag::kWaitAny:
+      break;  // fully covered by the epilogue restores above
+    case Tag::kDeliverQueue:
+    case Tag::kDeliverBind:
+      break;  // handled before the epilogue; unreachable
+  }
+}
+
+void System::rollback(Checkpoint mark) {
+  MCSYM_ASSERT_MSG(journaling_ && mark <= undo_log_.size(),
+                   "rollback() past the undo log");
+  while (undo_log_.size() > mark) undo();
 }
 
 void System::bind_request(ThreadRef t, std::uint32_t slot, const Message& m) {
@@ -229,29 +345,70 @@ void System::bind_request(ThreadRef t, std::uint32_t slot, const Message& m) {
   r.send_op_index = m.send_op;
 }
 
-void System::deliver(ChannelId channel) {
+void System::deliver(ChannelId channel, UndoRecord* u) {
   auto it = std::find_if(transit_.begin(), transit_.end(),
                          [&](const auto& e) { return e.first == channel; });
   MCSYM_ASSERT_MSG(it != transit_.end() && !it->second.empty(),
                    "deliver on empty channel");
   const Message m = it->second.front();
   it->second.pop_front();
+  if (u != nullptr) {
+    u->channel = channel;
+    u->message = m;
+  }
   EndpointState& ep = endpoints_[m.dst];
   if (!ep.pending.empty()) {
     // Receives complete in issue order: the oldest unbound recv_i wins.
     const auto [t, slot] = ep.pending.front();
     ep.pending.pop_front();
+    if (u != nullptr) {
+      u->tag = UndoRecord::Tag::kDeliverBind;
+      u->thread = t;
+      u->request_slot = slot;
+      u->saved_request = threads_[t].requests[slot];
+    }
     bind_request(t, slot, m);
   } else {
+    if (u != nullptr) u->tag = UndoRecord::Tag::kDeliverQueue;
     ep.queue.push_back(m);
   }
 }
 
-void System::step_thread(ThreadRef t, ExecSink* sink) {
+void System::step_thread(ThreadRef t, ExecSink* sink, UndoRecord* u) {
   ThreadState& ts = threads_[t];
   const Program::Thread& pt = program_->thread(t);
   MCSYM_ASSERT(!ts.halted && ts.pc < pt.code.size());
   const Instr& i = pt.code[ts.pc];
+  if (u != nullptr) {
+    u->thread = t;
+    u->prev_pc = ts.pc;
+    u->prev_halted = ts.halted;
+  }
+  // Journaled cell writes: every mutation below funnels through these so
+  // the undo record captures exactly the cells touched.
+  const auto write_local = [&](LocalSlot slot, std::int64_t value) {
+    if (u != nullptr) {
+      u->local_slot[u->locals_written] = slot;
+      u->local_old[u->locals_written] = ts.locals[slot];
+      ++u->locals_written;
+    }
+    ts.locals[slot] = value;
+  };
+  const auto save_request = [&](std::uint32_t slot) {
+    if (u != nullptr) {
+      u->touched_request = true;
+      u->request_slot = slot;
+      u->saved_request = ts.requests[slot];
+    }
+  };
+  const auto push_branch = [&](bool taken) {
+    branches_.push_back(BranchRecord{t, ts.op_count, taken});
+    if (u != nullptr) ++u->branches_pushed;
+  };
+  const auto push_match = [&](const MatchRecord& m) {
+    matches_.push_back(m);
+    if (u != nullptr) ++u->matches_pushed;
+  };
 
   ExecEvent ev;
   ev.thread = t;
@@ -266,11 +423,17 @@ void System::step_thread(ThreadRef t, ExecSink* sink) {
       const ChannelId channel{i.src, i.dst};
       auto it = std::find_if(transit_.begin(), transit_.end(),
                              [&](const auto& e) { return e.first == channel; });
-      if (it == transit_.end()) {
+      const bool created = it == transit_.end();
+      if (created) {
         transit_.emplace_back(channel, std::deque<Message>{});
         it = std::prev(transit_.end());
       }
       it->second.push_back(m);
+      if (u != nullptr) {
+        u->tag = UndoRecord::Tag::kSend;
+        u->channel = channel;
+        u->created_channel = created;
+      }
       ev.kind = ExecEvent::Kind::kSend;
       ev.src = i.src;
       ev.dst = i.dst;
@@ -284,8 +447,13 @@ void System::step_thread(ThreadRef t, ExecSink* sink) {
       MCSYM_ASSERT_MSG(!ep.queue.empty(), "blocking recv stepped while empty");
       const Message m = ep.queue.front();
       ep.queue.pop_front();
-      ts.locals[i.var_slot] = m.value;
-      matches_.push_back(MatchRecord{t, ts.op_count, m.sender, m.send_op});
+      if (u != nullptr) {
+        u->tag = UndoRecord::Tag::kRecv;
+        u->endpoint = i.dst;
+        u->message = m;
+      }
+      write_local(i.var_slot, m.value);
+      push_match(MatchRecord{t, ts.op_count, m.sender, m.send_op});
       ev.kind = ExecEvent::Kind::kRecv;
       ev.dst = i.dst;
       ev.var = i.var;
@@ -298,6 +466,7 @@ void System::step_thread(ThreadRef t, ExecSink* sink) {
       Request& r = ts.requests[i.req];
       MCSYM_ASSERT_MSG(r.state == ReqState::kUnused || r.state == ReqState::kConsumed,
                        "request slot reused while in flight");
+      save_request(i.req);
       r = Request{};
       r.var = i.var;
       r.var_slot = i.var_slot;
@@ -307,12 +476,21 @@ void System::step_thread(ThreadRef t, ExecSink* sink) {
       if (!ep.queue.empty()) {
         const Message m = ep.queue.front();
         ep.queue.pop_front();
+        if (u != nullptr) {
+          u->tag = UndoRecord::Tag::kRecvNbBound;
+          u->endpoint = i.dst;
+          u->message = m;
+        }
         r.state = ReqState::kBound;
         r.value = m.value;
         r.uid = m.uid;
         r.send_thread = m.sender;
         r.send_op_index = m.send_op;
       } else {
+        if (u != nullptr) {
+          u->tag = UndoRecord::Tag::kRecvNbPending;
+          u->endpoint = i.dst;
+        }
         r.state = ReqState::kPending;
         ep.pending.emplace_back(t, i.req);
       }
@@ -326,9 +504,11 @@ void System::step_thread(ThreadRef t, ExecSink* sink) {
     case OpKind::kWait: {
       Request& r = ts.requests[i.req];
       MCSYM_ASSERT_MSG(r.state == ReqState::kBound, "wait stepped while pending");
-      ts.locals[r.var_slot] = r.value;
+      save_request(i.req);
+      if (u != nullptr) u->tag = UndoRecord::Tag::kWait;
+      write_local(r.var_slot, r.value);
       r.state = ReqState::kConsumed;
-      matches_.push_back(
+      push_match(
           MatchRecord{t, r.issue_op_index, r.send_thread, r.send_op_index});
       ev.kind = ExecEvent::Kind::kWait;
       ev.dst = r.ep;
@@ -360,18 +540,20 @@ void System::step_thread(ThreadRef t, ExecSink* sink) {
       }
       MCSYM_ASSERT_MSG(winner != 0xffffffffu, "wait_any stepped while all pending");
       Request& w = ts.requests[winner];
-      ts.locals[w.var_slot] = w.value;
-      ts.locals[i.var_slot] = winner_pos;
+      save_request(winner);
+      if (u != nullptr) u->tag = UndoRecord::Tag::kWaitAny;
+      write_local(w.var_slot, w.value);
+      write_local(i.var_slot, winner_pos);
       w.state = ReqState::kConsumed;
-      matches_.push_back(
+      push_match(
           MatchRecord{t, w.issue_op_index, w.send_thread, w.send_op_index});
       // The winner index is control-relevant, exactly like a poll outcome:
       // one "not this one" record per skipped entry plus the winner's "yes",
       // so executions with different winners have different record sets.
       for (std::uint32_t pos = 0; pos < winner_pos; ++pos) {
-        branches_.push_back(BranchRecord{t, ts.op_count, false});
+        push_branch(false);
       }
-      branches_.push_back(BranchRecord{t, ts.op_count, true});
+      push_branch(true);
       ev.kind = ExecEvent::Kind::kWaitAny;
       ev.dst = w.ep;
       ev.var = i.var;
@@ -389,10 +571,10 @@ void System::step_thread(ThreadRef t, ExecSink* sink) {
                        "test on a request that was never issued");
       const bool done =
           r.state == ReqState::kBound || r.state == ReqState::kConsumed;
-      ts.locals[i.var_slot] = done ? 1 : 0;
+      write_local(i.var_slot, done ? 1 : 0);
       // Control-relevant outcome, like a branch: recorded so trace-filtered
       // enumerations only keep executions polling the same way.
-      branches_.push_back(BranchRecord{t, ts.op_count, done});
+      push_branch(done);
       ev.kind = ExecEvent::Kind::kTest;
       ev.var = i.var;
       ev.var_slot = i.var_slot;
@@ -405,7 +587,7 @@ void System::step_thread(ThreadRef t, ExecSink* sink) {
     }
     case OpKind::kAssign: {
       const std::int64_t value = i.expr.eval(ts.locals.data());
-      ts.locals[i.var_slot] = value;
+      write_local(i.var_slot, value);
       ev.kind = ExecEvent::Kind::kAssign;
       ev.var = i.var;
       ev.var_slot = i.var_slot;
@@ -419,7 +601,7 @@ void System::step_thread(ThreadRef t, ExecSink* sink) {
       break;
     case OpKind::kJmpIf: {
       const bool taken = i.cond.eval(ts.locals.data());
-      branches_.push_back(BranchRecord{t, ts.op_count, taken});
+      push_branch(taken);
       if (taken) next_pc = i.target;
       ev.kind = ExecEvent::Kind::kBranch;
       ev.cond = i.cond;
@@ -428,7 +610,10 @@ void System::step_thread(ThreadRef t, ExecSink* sink) {
     }
     case OpKind::kAssert: {
       const bool held = i.cond.eval(ts.locals.data());
-      if (!held) violation_ = Violation{t, ts.op_count, i.cond};
+      if (!held) {
+        violation_ = Violation{t, ts.op_count, i.cond};
+        if (u != nullptr) u->fired_violation = true;
+      }
       ev.kind = ExecEvent::Kind::kAssert;
       ev.cond = i.cond;
       ev.outcome = held;

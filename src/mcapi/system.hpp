@@ -23,6 +23,17 @@
 // value becomes visible in the destination local at the associated wait,
 // which is also where the paper's match semantics anchors the happens-before
 // obligation of the matching send.
+//
+// Checkpoint/undo: with the undo log enabled (enable_undo_log), every
+// apply() journals a compact UndoRecord capturing exactly the cells it
+// mutated — thread pc/op-count, the (at most two) locals written, the one
+// request slot overwritten, the message a queue operation moved, and the
+// match/branch log growth. undo() reverts the most recent action in O(1);
+// a Checkpoint is just an undo-log watermark (one record per action, so
+// the watermark equals the number of applied actions) and rollback(c)
+// walks the state back to it. This is what lets the stateless checkers
+// keep ONE live System and move it up and down their exploration stacks
+// instead of copying the world at every frame.
 #pragma once
 
 #include <cstdint>
@@ -190,8 +201,45 @@ class System {
   System(const System&) = default;
   System& operator=(const System&) = default;
 
+  /// Undo-log watermark: the number of actions applied (and not undone)
+  /// since the log was enabled. Obtained from checkpoint(), consumed by
+  /// rollback().
+  using Checkpoint = std::size_t;
+
+  /// Turns on the apply/undo journal. From here on every apply() records a
+  /// compact UndoRecord; undo()/rollback() revert them in LIFO order.
+  /// Checkpoint 0 names the state at the moment the log was enabled.
+  void enable_undo_log() { journaling_ = true; }
+  [[nodiscard]] bool undo_log_enabled() const { return journaling_; }
+
+  /// Current undo-log watermark. Requires the undo log to be enabled.
+  [[nodiscard]] Checkpoint checkpoint() const;
+
+  /// Reverts the most recently applied (not yet undone) action, restoring
+  /// the exact prior state — including transit-queue layout and the uid
+  /// counter, so a rolled-back System is indistinguishable from one that
+  /// never took the action. Requires a non-empty undo log.
+  void undo();
+
+  /// Undoes actions until the log is back at `mark` (no-op when already
+  /// there). `mark` must be a watermark previously returned by checkpoint()
+  /// that has not been invalidated by an earlier rollback past it.
+  void rollback(Checkpoint mark);
+
   /// Appends all currently enabled actions to `out` (cleared first).
   void enabled(std::vector<Action>& out) const;
+
+  /// Membership test of enabled() without materializing the vector — the
+  /// hot path of DPOR race-reversal simulation and schedule replay.
+  [[nodiscard]] bool action_enabled(const Action& action) const;
+
+  /// Current in-transit count of `channel` (0 when the channel has no
+  /// transit entry yet) and delivered-but-unreceived count of `ep` — the
+  /// inputs of the DPOR counting-based feasibility fast path.
+  [[nodiscard]] std::size_t transit_size(ChannelId channel) const;
+  [[nodiscard]] std::size_t queue_size(EndpointRef ep) const {
+    return endpoints_[ep].queue.size();
+  }
 
   /// Applies one enabled action; events are reported to `sink` (may be null).
   void apply(const Action& action, ExecSink* sink = nullptr);
@@ -268,11 +316,54 @@ class System {
     std::deque<std::pair<ThreadRef, std::uint32_t>> pending;  // unbound recv_i
   };
 
-  void step_thread(ThreadRef t, ExecSink* sink);
-  void deliver(ChannelId channel);
+  /// Everything one apply() mutated, captured so undo() can restore the
+  /// prior state exactly. Fixed-size (no heap): the semantics touches at
+  /// most one request slot, two locals, and one queued message per action.
+  struct UndoRecord {
+    enum class Tag : std::uint8_t {
+      kLocalOnly,      // assign/jmp/branch/assert/test/nop: pc, locals, logs
+      kSend,           // pushed a message onto a transit queue
+      kRecv,           // popped an endpoint queue front
+      kRecvNbBound,    // recv_i that bound immediately (popped the queue)
+      kRecvNbPending,  // recv_i that parked on the endpoint's pending list
+      kWait,           // consumed a bound request
+      kWaitAny,        // consumed the scanned winner request
+      kDeliverQueue,   // moved a transit head into an endpoint queue
+      kDeliverBind,    // moved a transit head into the oldest pending request
+    };
+    Tag tag = Tag::kLocalOnly;
+    // Thread-step epilogue (every tag except the two deliveries): pc /
+    // op_count / halted restore. For kDeliverBind, `thread`/`request_slot`
+    // name the request the delivery bound instead.
+    ThreadRef thread = 0;
+    std::uint32_t prev_pc = 0;
+    bool prev_halted = false;
+    bool fired_violation = false;  // kAssert that failed: undo clears it
+    // Locals written, oldest first (wait_any writes payload + winner index;
+    // restored in reverse so aliased slots come back right).
+    std::uint8_t locals_written = 0;
+    LocalSlot local_slot[2] = {kNoSlot, kNoSlot};
+    std::int64_t local_old[2] = {0, 0};
+    // The one request slot overwritten, with its full prior value.
+    bool touched_request = false;
+    std::uint32_t request_slot = 0;
+    Request saved_request;
+    // Queue motion: the message to push back where it came from.
+    ChannelId channel{kNoEndpoint, kNoEndpoint};
+    bool created_channel = false;  // kSend opened a fresh transit entry
+    EndpointRef endpoint = kNoEndpoint;
+    Message message{};
+    // Log growth to trim on undo.
+    std::uint8_t matches_pushed = 0;
+    std::uint32_t branches_pushed = 0;
+  };
+
+  void step_thread(ThreadRef t, ExecSink* sink, UndoRecord* u);
+  void deliver(ChannelId channel, UndoRecord* u);
   void bind_request(ThreadRef t, std::uint32_t slot, const Message& m);
   [[nodiscard]] bool thread_can_step(ThreadRef t) const;
   [[nodiscard]] SendUid oldest_in_transit_uid() const;
+  [[nodiscard]] std::deque<Message>& transit_queue(ChannelId channel);
 
   const Program* program_;
   DeliveryMode mode_;
@@ -284,6 +375,8 @@ class System {
   std::optional<Violation> violation_;
   std::vector<MatchRecord> matches_;
   std::vector<BranchRecord> branches_;
+  bool journaling_ = false;
+  std::vector<UndoRecord> undo_log_;
 };
 
 }  // namespace mcsym::mcapi

@@ -161,6 +161,34 @@ TEST(DporTest, IndependentWritersExploreSingleTrace) {
   EXPECT_GT(sleep.stats.executions, 1u);  // blocked paths all the way down
 }
 
+// The BM_Dpor_MessageRace/4 acceptance gate (ISSUE 4): optimal mode
+// completes message_race(4,2) at exactly the trace count, 8!/(2!)^4 =
+// 2520, with zero redundancy — the instance where the sleep-set baseline
+// burns ~5*10^4 executions. Optimal-only: the sleep-set run at this size
+// belongs in the bench (with its time budget), not in tier-1.
+TEST(DporTest, MessageRaceFourExactTraceCount) {
+  const DporResult opt = run_dpor(wl::message_race(4, 2), DporMode::kOptimal);
+  EXPECT_EQ(opt.stats.executions, 2520u);
+  EXPECT_EQ(opt.stats.terminal_states, 2520u);
+  EXPECT_EQ(opt.stats.redundant_explorations, 0u);
+  EXPECT_FALSE(opt.truncated);
+}
+
+// DporOptions::max_seconds is a truncation guard exactly like
+// max_transitions: an absurdly small budget must abandon the search with
+// truncated set instead of hanging or crashing, in both modes.
+TEST(DporTest, TimeBudgetTruncates) {
+  const mcapi::Program p = wl::message_race(3, 2);
+  for (const auto mode : {DporMode::kOptimal, DporMode::kSleepSet}) {
+    DporOptions opts;
+    opts.algorithm = mode;
+    opts.max_seconds = 1e-9;
+    DporChecker checker(p, opts);
+    const DporResult r = checker.run();
+    EXPECT_TRUE(r.truncated);
+  }
+}
+
 // The ISSUE acceptance gate: on the BM_Dpor_MessageRace/3 instance
 // (message_race(3,2)) optimal mode explores at least 5x fewer executions
 // than the sleep-set baseline.

@@ -1,0 +1,71 @@
+// End-to-end tests of tools/format_corpus_entry, the nightly triage
+// helper: MCSYM_FAIL_SEED_FILE artifact lines in, ready-to-commit
+// tests/corpus/seeds.txt entries out.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#ifndef MCSYM_TRIAGE_TOOL_PATH
+#error "MCSYM_TRIAGE_TOOL_PATH must be defined by the build"
+#endif
+
+namespace {
+
+struct ToolResult {
+  int exit_code = -1;
+  std::string output;  // stdout only; stderr discarded
+};
+
+ToolResult run_tool(const std::string& stdin_text) {
+  const std::string path =
+      ::testing::TempDir() + "format_corpus_entry_input.txt";
+  std::ofstream(path) << stdin_text;
+  const std::string command =
+      std::string(MCSYM_TRIAGE_TOOL_PATH) + " " + path + " 2>/dev/null";
+  ToolResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  std::size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(TriageTool, FormatsEntryAndFlagsNonReproducingSeed) {
+  // A committed coverage pin: agrees on today's build, so the tool must
+  // keep the recorded artifact detail and flag the non-reproduction.
+  const ToolResult r =
+      run_tool("default 1296257881 some recorded nightly detail\n");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("default 1296257881   # some recorded nightly "
+                          "detail [did not reproduce on this build]"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(TriageTool, DeduplicatesAndSkipsComments) {
+  const ToolResult r = run_tool(
+      "# artifact header comment\n"
+      "\n"
+      "deadlock 3735883973 detail one\n"
+      "deadlock 3735883973 detail repeated\n");
+  EXPECT_EQ(r.exit_code, 0);
+  // One entry, not two, and it is the deadlock-battery line.
+  EXPECT_NE(r.output.find("deadlock 3735883973   # "), std::string::npos);
+  EXPECT_EQ(r.output.find("detail repeated"), std::string::npos);
+}
+
+TEST(TriageTool, MalformedLineFailsLoudly) {
+  const ToolResult r = run_tool("frobnicate 123 whatever\n");
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Nightly triage helper: turns MCSYM_FAIL_SEED_FILE artifact lines into
+// ready-to-commit tests/corpus/seeds.txt entries.
+//
+// The nightly deep-fuzz job appends one line per mismatch to the artifact:
+//
+//   <battery> <seed> <detail...>
+//
+// where <battery> is "default" or "deadlock" (the DifferentialOptions the
+// battery ran with). This tool parses those lines, re-runs each seed
+// through differential_iteration with the matching options, and prints a
+// corpus entry whose one-line diagnosis is the *reproduced* mismatch (or a
+// loud note when the seed no longer reproduces — e.g. after the fix
+// landed, which is exactly when the entry should be committed as a
+// regression pin):
+//
+//   deadlock 3362090042840373428   # <first reproduced mismatch detail>
+//
+// Usage:
+//   format_corpus_entry [fail-seeds.txt]     # default: read stdin
+//
+// Exit status: 0 when every line parsed, 1 on malformed input. Duplicate
+// (battery, seed) pairs are collapsed to one entry.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "check/differential.hpp"
+
+namespace {
+
+struct ArtifactLine {
+  std::string battery;
+  std::uint64_t seed = 0;
+  std::string recorded_detail;
+};
+
+bool parse_line(const std::string& line, ArtifactLine* out, std::string* err) {
+  std::istringstream fields(line);
+  if (!(fields >> out->battery)) return false;  // blank: skip silently
+  if (out->battery == "#" || out->battery.front() == '#') return false;
+  if (out->battery != "default" && out->battery != "deadlock") {
+    *err = "unknown battery '" + out->battery + "'";
+    return false;
+  }
+  if (!(fields >> out->seed)) {
+    *err = "missing or non-numeric seed";
+    return false;
+  }
+  std::getline(fields, out->recorded_detail);
+  const std::size_t start = out->recorded_detail.find_first_not_of(' ');
+  out->recorded_detail =
+      start == std::string::npos ? "" : out->recorded_detail.substr(start);
+  return true;
+}
+
+std::string diagnose(const ArtifactLine& line) {
+  mcsym::check::DifferentialOptions opts;
+  opts.allow_deadlocks = line.battery == "deadlock";
+  mcsym::check::DifferentialReport report;
+  mcsym::check::differential_iteration(line.seed, opts, report);
+  if (!report.mismatches.empty()) return report.mismatches.front().detail;
+  if (!line.recorded_detail.empty()) {
+    return line.recorded_detail + " [did not reproduce on this build]";
+  }
+  return "[did not reproduce on this build]";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::ifstream file;
+  if (argc > 1) {
+    file.open(argv[1]);
+    if (!file) {
+      std::cerr << "format_corpus_entry: cannot open " << argv[1] << "\n";
+      return 1;
+    }
+  }
+  std::istream& in = argc > 1 ? file : std::cin;
+
+  std::set<std::pair<std::string, std::uint64_t>> seen;
+  std::string line;
+  std::size_t lineno = 0;
+  bool ok = true;
+  bool any = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    ArtifactLine parsed;
+    std::string err;
+    if (!parse_line(line, &parsed, &err)) {
+      if (!err.empty()) {
+        std::cerr << "format_corpus_entry: line " << lineno << ": " << err
+                  << "\n";
+        ok = false;
+      }
+      continue;
+    }
+    if (!seen.emplace(parsed.battery, parsed.seed).second) continue;
+    any = true;
+    std::cout << parsed.battery << " " << parsed.seed << "   # "
+              << diagnose(parsed) << "\n";
+  }
+  if (!any) std::cerr << "format_corpus_entry: no artifact lines found\n";
+  return ok ? 0 : 1;
+}
