@@ -1,18 +1,10 @@
 #include "check/differential.hpp"
 
-#include <algorithm>
 #include <sstream>
 
-#include "check/dpor.hpp"
-#include "check/explicit_checker.hpp"
 #include "check/random_program.hpp"
-#include "check/symbolic_checker.hpp"
-#include "check/witness_replay.hpp"
-#include "match/generators.hpp"
-#include "mcapi/executor.hpp"
-#include "mcapi/scheduler.hpp"
+#include "check/verifier.hpp"
 #include "support/rng.hpp"
-#include "trace/trace.hpp"
 
 namespace mcsym::check {
 namespace {
@@ -38,75 +30,6 @@ RandomProgramOptions shape_for(support::Rng& rng, bool allow_deadlocks) {
   return popts;
 }
 
-/// Replays a checker's deadlock schedule against the runtime (an empty
-/// schedule means the initial state itself deadlocks); records a mismatch
-/// tagged `who` unless it lands on a real deadlock. `workspace` is the
-/// iteration's shared journaling System, rolled back to the initial state
-/// here instead of constructing a fresh one per schedule.
-void replay_deadlock_schedule(mcapi::System& workspace,
-                              const std::vector<mcapi::Action>& schedule,
-                              const char* who, std::uint64_t seed,
-                              DifferentialReport& report) {
-  workspace.rollback(0);
-  mcapi::ReplayScheduler replay(schedule);
-  if (mcapi::run(workspace, replay, nullptr, schedule.size() + 1).outcome !=
-      mcapi::RunResult::Outcome::kDeadlock) {
-    mismatch(report, seed,
-             std::string(who) + " deadlock schedule did not replay to a deadlock");
-  } else {
-    ++report.deadlock_schedules_replayed;
-  }
-}
-
-/// Runs one DPOR configuration and cross-checks its verdicts against the
-/// explicit ground truth. Returns false when the run truncated.
-bool check_dpor(mcapi::System& workspace, const DifferentialOptions& options,
-                DporMode algorithm, const ExplicitResult& truth,
-                bool observers, std::uint64_t seed, DifferentialReport& report) {
-  const mcapi::Program& program = workspace.program();
-  DporOptions dopts;
-  dopts.algorithm = algorithm;
-  dopts.max_transitions = options.dpor_max_transitions;
-  DporChecker dpor(program, dopts);
-  const DporResult dr = dpor.run();
-  const char* name = algorithm == DporMode::kOptimal ? "optimal" : "sleep-set";
-  if (dr.truncated) return false;
-  if (dr.violation_found != truth.violation_found) {
-    std::ostringstream os;
-    os << "DPOR(" << name << ")/explicit verdict split: dpor="
-       << dr.violation_found << " explicit=" << truth.violation_found;
-    mismatch(report, seed, os.str());
-  }
-  // Every engine stops its search at the first violation, so which *other*
-  // terminal classes it saw first is exploration-order-dependent: deadlock
-  // verdicts are only comparable on violation-free programs.
-  if (!truth.violation_found && dr.deadlock_found != truth.deadlock_found) {
-    std::ostringstream os;
-    os << "DPOR(" << name << ")/explicit deadlock verdict split: dpor="
-       << dr.deadlock_found << " explicit=" << truth.deadlock_found;
-    mismatch(report, seed, os.str());
-  }
-  if (algorithm == DporMode::kOptimal && dr.stats.redundant_explorations != 0) {
-    if (observers) {
-      // Request observations (recv_i / test / wait_any) are observer-style
-      // dependence: a scheduled revisit can meet a flipped observation and
-      // end sleep-blocked. Counted, not a mismatch (see the report field).
-      report.optimal_redundant_paths += dr.stats.redundant_explorations;
-    } else {
-      std::ostringstream os;
-      os << "optimal DPOR reported " << dr.stats.redundant_explorations
-         << " redundant explorations on an observation-free program";
-      mismatch(report, seed, os.str());
-    }
-  }
-  if (dr.deadlock_found) {
-    const std::string who = std::string("DPOR(") + name + ")";
-    replay_deadlock_schedule(workspace, dr.deadlock_schedule, who.c_str(), seed,
-                             report);
-  }
-  return true;
-}
-
 }  // namespace
 
 std::string DifferentialReport::summary() const {
@@ -129,209 +52,81 @@ void differential_iteration(std::uint64_t seed, const DifferentialOptions& optio
   const RandomProgramOptions popts = shape_for(rng, options.allow_deadlocks);
   const mcapi::Program program = random_program(seed, popts);
 
-  // One journaling workspace System serves every concrete execution of
-  // this iteration — recorded runs, deadlock-schedule replays, witness
-  // replays. rollback(0) walks it back to the initial state between uses,
-  // replacing a fresh System construction per schedule.
-  mcapi::System workspace(program);
-  workspace.enable_undo_log();
+  // The cross-checking itself — explicit ground truth, both DPOR modes,
+  // symbolic per-trace verdicts, deadlock-schedule and witness replays —
+  // is the Verifier facade's portfolio mode; this harness only supplies the
+  // generated program, maps budgets, and layers on the generator-invariant
+  // checks the facade cannot know about.
+  VerifyRequest req;
+  req.engine = Engine::kPortfolio;
+  req.budget.max_states = options.explicit_max_states;
+  req.budget.max_transitions = options.dpor_max_transitions;
+  req.budget.max_run_steps = options.run_max_steps;
+  req.traces = options.traces_per_program;
+  // splitmix-style stream: trace t of this iteration schedules with
+  // trace_seed + t, reproducing the historical per-trace seeds.
+  req.trace_seed = seed * 0x9e3779b97f4a7c15ULL;
+  req.check_dpor_modes = options.check_dpor_modes;
+  req.replay_witnesses = options.check_witness_replay;
 
-  // Whole-program ground truth: exhaustive explicit-state search.
-  ExplicitOptions eopts;
-  eopts.max_states = options.explicit_max_states;
-  ExplicitChecker explicit_checker(program, eopts);
-  const ExplicitResult truth = explicit_checker.run();
-  if (truth.truncated) {
+  Verifier verifier;
+  const VerifyReport vr = verifier.verify(program, req);
+
+  // A truncated ground truth means nothing was cross-checked (the portfolio
+  // reports kBudgetExhausted and stops): a rare blowup program is worth
+  // seconds of wall clock at most — count it skipped and move on.
+  if (vr.verdict == Verdict::kBudgetExhausted) {
     ++report.skipped_truncated;
     return;
   }
-  if (truth.deadlock_found) {
-    if (!popts.allow_deadlocks) {
-      // Such programs are deadlock-free by construction; a deadlock here
-      // means the generator (or the semantics) regressed.
-      mismatch(report, seed, "explicit checker found a deadlock in a generated "
-                             "program (generator invariant broken)");
-      return;
-    }
-    ++report.deadlock_programs;
-    // The deadlock verdict must come with a concretely replayable witness.
-    replay_deadlock_schedule(workspace, truth.deadlock_schedule, "explicit",
-                             seed, report);
-  }
+  const PortfolioStats& ps = *vr.portfolio;
 
-  // DPOR explores the same transition system; verdicts must be identical —
-  // in optimal source-set/wakeup-tree mode and, for the A/B cross-check, in
-  // the sleep-set baseline too.
-  // Only test polls and wait_any scans *observe* pending requests (an
-  // enabled wait is always bound), so plain recv_i programs get the hard
-  // zero-redundancy check too.
-  const bool observers = popts.allow_test_poll || popts.allow_wait_any;
-  bool dpor_complete = check_dpor(workspace, options, DporMode::kOptimal, truth,
-                                  observers, seed, report);
-  if (options.check_dpor_modes) {
-    dpor_complete &= check_dpor(workspace, options, DporMode::kSleepSet, truth,
-                                observers, seed, report);
+  if (ps.deadlock_reachable && !popts.allow_deadlocks) {
+    // Such programs are deadlock-free by construction; a deadlock here
+    // means the generator (or the semantics) regressed.
+    mismatch(report, seed, "explicit checker found a deadlock in a generated "
+                           "program (generator invariant broken)");
+    return;
   }
-  if (!dpor_complete) {
-    // The rest of the cross-check still runs; only the DPOR comparison is
-    // lost, so it gets its own counter instead of skipped_truncated.
-    ++report.dpor_skipped;
+  if (ps.deadlocked_runs > 0 && !popts.allow_deadlocks) {
+    mismatch(report, seed, "concrete run deadlocked (generator invariant broken)");
+  }
+  if (ps.deadlock_reachable) ++report.deadlock_programs;
+
+  for (const std::string& detail : vr.disagreements) {
+    mismatch(report, seed, detail);
   }
 
   ++report.programs;
+  report.traces += ps.traces_checked;
+  report.sat_verdicts += ps.sat_verdicts;
+  report.unsat_verdicts += ps.unsat_verdicts;
+  report.witnesses_replayed += ps.witnesses_replayed;
+  report.skipped_truncated += ps.traces_skipped;
+  if (ps.dpor_skipped > 0) ++report.dpor_skipped;
+  report.deadlock_schedules_replayed += ps.deadlock_schedules_replayed;
+  report.deadlocked_runs += ps.deadlocked_runs;
+  report.optimal_redundant_paths += ps.optimal_redundant_paths;
 
-  for (std::uint32_t t = 0; t < options.traces_per_program; ++t) {
-    const std::uint64_t sched_seed = seed * 0x9e3779b97f4a7c15ULL + t;
-    static constexpr double kBiases[] = {1.0, 0.5, 2.0};
-    const double bias = kBiases[t % 3];
-
-    workspace.rollback(0);
-    trace::Trace tr(program);
-    trace::Recorder recorder(tr);
-    mcapi::RandomScheduler scheduler(sched_seed, bias);
-    const mcapi::RunResult run =
-        mcapi::run(workspace, scheduler, &recorder, options.run_max_steps);
-    if (run.outcome == mcapi::RunResult::Outcome::kStepLimit) {
-      ++report.skipped_truncated;
-      continue;
-    }
-    if (run.outcome == mcapi::RunResult::Outcome::kDeadlock) {
-      if (!popts.allow_deadlocks) {
-        mismatch(report, seed, "concrete run deadlocked (generator invariant broken)");
-      } else if (!truth.deadlock_found && !truth.violation_found) {
-        // A concrete deadlock is a one-schedule witness the exhaustive
-        // search must have covered — unless that search stopped early at a
-        // violation, which makes its deadlock flag exploration-order noise.
-        mismatch(report, seed,
-                 "concrete run deadlocked but the explicit checker reports "
-                 "the program deadlock-free");
-      } else {
-        ++report.deadlocked_runs;
+  // Matching-set enumeration: only meaningful when no assertion can end
+  // executions early (crossval_test precedent) — and only for complete
+  // recorded runs. Reuses the traces the portfolio recorded.
+  if (options.check_enumeration && !popts.add_asserts) {
+    for (const TraceCheck& tc : vr.trace_checks) {
+      if (!tc.checked || tc.recorded != mcapi::RunResult::Outcome::kHalted) {
+        continue;
       }
-      // A deadlocked run's trace is a prefix artifact, not a checkable one.
-      continue;
-    }
-    const bool concrete_violation =
-        run.outcome == mcapi::RunResult::Outcome::kViolation;
-    if (concrete_violation && !truth.violation_found) {
-      mismatch(report, seed,
-               "concrete run violated an assertion the explicit checker missed");
-      continue;
-    }
-    if (const auto err = tr.validate()) {
-      // A violation can stop the run between a recv_i and its wait, leaving
-      // a structurally incomplete trace that is not a checkable artifact.
-      // Only a *completed* run owes us a well-formed trace.
-      if (concrete_violation) {
+      EnumerateRequest er;
+      er.with_explicit = true;
+      er.with_precise = true;
+      er.explicit_max_states = options.explicit_max_states;
+      er.feasible_max_paths = options.feasible_max_paths;
+      const EnumerateReport en = verifier.enumerate(program, tc.trace, er);
+      if (en.truncated_any()) {
         ++report.skipped_truncated;
       } else {
-        mismatch(report, seed, "recorded trace failed validation: " + *err);
-      }
-      continue;
-    }
-
-    // With no assert events in the trace (and no extra properties), the
-    // encoder intentionally leaves ¬PProp unasserted, so check() degrades
-    // to a feasibility query: SAT is the only sound answer (the recorded
-    // run itself is a consistent execution) and the witness must replay
-    // without firing anything.
-    bool trace_has_asserts = false;
-    for (trace::EventIndex i = 0; i < tr.size(); ++i) {
-      if (tr.event(i).ev.kind == mcapi::ExecEvent::Kind::kAssert) {
-        trace_has_asserts = true;
-        break;
-      }
-    }
-
-    SymbolicChecker checker(tr);
-    const SymbolicVerdict verdict = checker.check();
-    ++report.traces;
-
-    switch (verdict.result) {
-      case smt::SolveResult::kSat: {
-        ++report.sat_verdicts;
-        const bool claims_violation =
-            trace_has_asserts;  // SAT = some consistent execution violates
-        if (claims_violation && !truth.violation_found) {
-          mismatch(report, seed,
-                   "symbolic SAT but explicit exhaustive search proves the "
-                   "program violation-free");
-          break;
-        }
-        if (!verdict.witness.has_value()) {
-          mismatch(report, seed, "SAT verdict carried no witness");
-          break;
-        }
-        if (options.check_witness_replay) {
-          const auto replayed =
-              schedule_from_witness(workspace, tr, *verdict.witness);
-          if (!replayed.has_value()) {
-            mismatch(report, seed,
-                     "SAT witness did not replay: schedule diverged from the "
-                     "runtime semantics");
-          } else if (replayed->violation != claims_violation) {
-            mismatch(report, seed,
-                     claims_violation
-                         ? "SAT witness replayed but no assertion fired "
-                           "during the replayed schedule"
-                         : "feasibility witness replayed with a violation on "
-                           "an assertion-free trace");
-          } else {
-            ++report.witnesses_replayed;
-          }
-        }
-        break;
-      }
-      case smt::SolveResult::kUnsat: {
-        ++report.unsat_verdicts;
-        if (!trace_has_asserts) {
-          mismatch(report, seed,
-                   "symbolic UNSAT on an assertion-free trace: the recorded "
-                   "run itself is a consistent execution");
-        } else if (concrete_violation) {
-          mismatch(report, seed,
-                   "symbolic UNSAT but the recorded run itself violated an "
-                   "assertion (the trace is a consistent execution)");
-        }
-        break;
-      }
-      case smt::SolveResult::kUnknown:
-        mismatch(report, seed, "symbolic checker returned kUnknown on an "
-                               "unbounded-budget query");
-        break;
-    }
-
-    // Matching-set enumeration: only meaningful when no assertion can end
-    // executions early (crossval_test precedent) — and only for complete
-    // recorded runs.
-    if (options.check_enumeration && !popts.add_asserts && run.completed()) {
-      match::FeasibleOptions fopts;
-      fopts.max_paths = options.feasible_max_paths;
-      const auto feas = match::enumerate_feasible(tr, fopts);
-
-      ExplicitOptions xopts;
-      xopts.collect_matchings = true;
-      xopts.max_states = options.explicit_max_states;
-      ExplicitChecker enumerator(program, xopts);
-      const auto exp = enumerator.enumerate_against(tr);
-
-      const SymbolicEnumeration sym = checker.enumerate_matchings();
-      if (feas.truncated || exp.truncated || sym.truncated) {
-        ++report.skipped_truncated;
-      } else {
-        if (sym.matchings != feas.matchings) {
-          std::ostringstream os;
-          os << "symbolic enumeration (" << sym.matchings.size()
-             << " matchings) != precise abstract execution ("
-             << feas.matchings.size() << ")";
-          mismatch(report, seed, os.str());
-        }
-        if (sym.matchings != exp.matchings) {
-          std::ostringstream os;
-          os << "symbolic enumeration (" << sym.matchings.size()
-             << " matchings) != explicit trace-filtered enumeration ("
-             << exp.matchings.size() << ")";
-          mismatch(report, seed, os.str());
+        for (const std::string& detail : en.disagreements) {
+          mismatch(report, seed, detail);
         }
         ++report.enumerations_checked;
       }

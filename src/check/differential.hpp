@@ -29,6 +29,14 @@
 // The harness is deterministic: a fixed (base_seed, options) pair replays
 // bit-for-bit, and every mismatch records the seed that produced it so a
 // failure shrinks to a one-liner reproduction.
+//
+// Since the Verifier facade landed, the engine plumbing behind these
+// checks lives in check::Verifier's portfolio mode (verifier.hpp): this
+// harness generates the random programs, maps its budgets onto the shared
+// Budget, forwards the portfolio's disagreements, and layers on the
+// generator-invariant checks only it can know (a deadlock in a program
+// the generator promised deadlock-free is a bug even when every engine
+// agrees about it).
 #pragma once
 
 #include <cstdint>

@@ -159,9 +159,12 @@ bool DporChecker::over_time_budget(const support::Stopwatch& timer) const {
   // and feasibility simulations do unbounded work without advancing the
   // transition counter, so a transition-keyed probe could overshoot the
   // budget arbitrarily.
-  if (options_.max_seconds <= 0) return false;
+  if (options_.max_seconds <= 0 && !options_.interrupted) return false;
   if ((++budget_probe_ & 63u) != 0) return false;
-  return timer.seconds() > options_.max_seconds;
+  if (options_.max_seconds > 0 && timer.seconds() > options_.max_seconds) {
+    return true;
+  }
+  return options_.interrupted && options_.interrupted();
 }
 
 void DporChecker::run_optimal(DporResult& result,

@@ -42,6 +42,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -64,6 +65,11 @@ struct DporOptions {
   /// guard the benches use to race the sleep-set baseline on instances
   /// where it blows up combinatorially.
   double max_seconds = 0;
+  /// Optional cooperative cancellation probe, polled on the same amortized
+  /// schedule as the wall clock: returning true abandons the search with
+  /// result.truncated set. The Verifier facade routes its
+  /// progress/cancellation callback through this hook.
+  std::function<bool()> interrupted;
 };
 
 /// Exploration counters. `executions` counts every maximal explored path:

@@ -72,11 +72,23 @@ bool ExplicitChecker::record_terminal(const System& state, ExplicitResult& resul
          result.raw_matchings.size() < options_.max_matchings;
 }
 
+bool ExplicitChecker::out_of_budget() const {
+  // Amortize the clock read / callback over DFS entries, mirroring
+  // DporChecker::over_time_budget.
+  if (options_.max_seconds <= 0 && !options_.interrupted) return false;
+  if ((++budget_probe_ & 63u) != 0) return false;
+  if (options_.max_seconds > 0 && timer_ != nullptr &&
+      timer_->seconds() > options_.max_seconds) {
+    return true;
+  }
+  return options_.interrupted && options_.interrupted();
+}
+
 void ExplicitChecker::dfs(System& sys, std::vector<Action>& script,
                           ExplicitResult& result, const trace::Trace* reference) {
   if (result.truncated) return;
   if (result.violation_found && !options_.collect_matchings) return;
-  if (result.states_expanded >= options_.max_states) {
+  if (result.states_expanded >= options_.max_states || out_of_budget()) {
     result.truncated = true;
     return;
   }
@@ -133,6 +145,7 @@ void ExplicitChecker::dfs(System& sys, std::vector<Action>& script,
 
 ExplicitResult ExplicitChecker::run() {
   const support::Stopwatch timer;
+  timer_ = &timer;
   ExplicitResult result;
   visited_.clear();
   visited_histories_.clear();
@@ -146,11 +159,13 @@ ExplicitResult ExplicitChecker::run() {
   std::vector<Action> script;
   dfs(sys, script, result, nullptr);
   result.seconds = timer.seconds();
+  timer_ = nullptr;
   return result;
 }
 
 ExplicitResult ExplicitChecker::enumerate_against(const trace::Trace& reference) {
   const support::Stopwatch timer;
+  timer_ = &timer;
   const bool saved = options_.collect_matchings;
   options_.collect_matchings = true;
   ExplicitResult result;
@@ -163,6 +178,7 @@ ExplicitResult ExplicitChecker::enumerate_against(const trace::Trace& reference)
   dfs(sys, script, result, &reference);
   options_.collect_matchings = saved;
   result.seconds = timer.seconds();
+  timer_ = nullptr;
   return result;
 }
 

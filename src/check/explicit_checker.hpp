@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <set>
 #include <unordered_set>
@@ -18,6 +19,7 @@
 
 #include "match/match_set.hpp"
 #include "mcapi/system.hpp"
+#include "support/stats.hpp"
 #include "trace/trace.hpp"
 
 namespace mcsym::check {
@@ -25,6 +27,15 @@ namespace mcsym::check {
 struct ExplicitOptions {
   mcapi::DeliveryMode mode = mcapi::DeliveryMode::kArbitraryDelay;
   std::uint64_t max_states = 10'000'000;
+  /// Wall-clock budget in seconds; 0 = unlimited. Exceeding it abandons the
+  /// search with result.truncated set, exactly like max_states (the shared
+  /// Budget of the check::Verifier facade maps here).
+  double max_seconds = 0;
+  /// Optional cooperative cancellation probe, polled on the same amortized
+  /// schedule as the wall clock: returning true abandons the search with
+  /// result.truncated set. The Verifier facade routes its
+  /// progress/cancellation callback through this hook.
+  std::function<bool()> interrupted;
   /// Collect the matching of every terminal execution. Switches visited-state
   /// pruning from the semantic fingerprint to the history fingerprint
   /// (semantic state + accumulated match/branch records), which keeps the
@@ -83,10 +94,15 @@ class ExplicitChecker {
                                      ExplicitResult& result,
                                      const trace::Trace* reference) const;
 
+  [[nodiscard]] bool out_of_budget() const;
+
   const mcapi::Program& program_;
   ExplicitOptions options_;
   std::unordered_set<std::uint64_t> visited_;
   std::unordered_set<support::Hash128> visited_histories_;
+  const support::Stopwatch* timer_ = nullptr;  // live only inside run()
+  // Clock-read / callback amortization for out_of_budget.
+  mutable std::uint64_t budget_probe_ = 0;
 };
 
 }  // namespace mcsym::check

@@ -27,20 +27,22 @@ struct TimelineItem {
 class Replayer {
  public:
   Replayer(const trace::Trace& trace, const encode::Witness& witness,
-           System& system)
-      : trace_(trace), witness_(witness), system_(system) {}
+           System& system, ReplayOptions options)
+      : trace_(trace), witness_(witness), system_(system), options_(options) {}
 
   std::optional<ReplayedWitness> run() {
     build_timeline();
+    const bool cont = options_.continue_past_violation;
     for (const TimelineItem& item : timeline_) {
       // A fired assertion is terminal in the runtime, while the model keeps
       // valuing the rest of the execution; once the violation the witness
-      // promises is concrete, the remaining schedule is moot.
-      if (system_.has_violation()) break;
+      // promises is concrete, the remaining schedule is moot — unless the
+      // caller asked for the whole execution (continue_past_violation).
+      if (!cont && system_.has_violation()) break;
       if (item.is_bind ? !process_bind(item.event) : !process_event(item.event)) {
         // Post-violation the system enables nothing, so a stalled item is
         // the expected end of the run, not a divergence.
-        if (system_.has_violation()) break;
+        if (!cont && system_.has_violation()) break;
         return std::nullopt;
       }
     }
@@ -49,6 +51,7 @@ class Replayer {
     ReplayedWitness out;
     out.script = std::move(script_);
     out.violation = system_.has_violation();
+    out.violations = system_.violations();
     return out;
   }
 
@@ -141,7 +144,8 @@ class Replayer {
       horizon[e.thread] = std::max(horizon[e.thread], e.op_index + 1);
     }
     bool progressed = true;
-    while (progressed && !system_.has_violation()) {
+    while (progressed &&
+           (options_.continue_past_violation || !system_.has_violation())) {
       progressed = false;
       std::vector<Action> enabled;
       system_.enabled(enabled);
@@ -161,8 +165,10 @@ class Replayer {
     // violation ended the run early: the runtime stops at the first failed
     // assertion while the model values the whole execution, so only the
     // realized prefix can be compared (it must be a sub-multiset of what
-    // the witness promised).
-    const bool prefix_only = system_.has_violation();
+    // the witness promised). Continue-past-violation replays realize the
+    // whole execution, so they are always held to exact equality.
+    const bool prefix_only =
+        system_.has_violation() && !options_.continue_past_violation;
     std::set<std::tuple<mcapi::ThreadRef, std::uint32_t, mcapi::ThreadRef,
                         std::uint32_t>>
         got;
@@ -224,6 +230,7 @@ class Replayer {
   const trace::Trace& trace_;
   const encode::Witness& witness_;
   System& system_;
+  ReplayOptions options_;
   std::vector<TimelineItem> timeline_;
   std::vector<Action> script_;
 };
@@ -232,18 +239,23 @@ class Replayer {
 
 std::optional<ReplayedWitness> schedule_from_witness(
     const mcapi::Program& program, const trace::Trace& trace,
-    const encode::Witness& witness) {
+    const encode::Witness& witness, ReplayOptions options) {
   System system(program);
-  return Replayer(trace, witness, system).run();
+  system.set_continue_past_violation(options.continue_past_violation);
+  return Replayer(trace, witness, system, options).run();
 }
 
 std::optional<ReplayedWitness> schedule_from_witness(
     mcapi::System& workspace, const trace::Trace& trace,
-    const encode::Witness& witness) {
+    const encode::Witness& witness, ReplayOptions options) {
   MCSYM_ASSERT_MSG(workspace.undo_log_enabled(),
                    "witness replay workspace needs enable_undo_log()");
   workspace.rollback(0);
-  return Replayer(trace, witness, workspace).run();
+  const bool saved = workspace.continue_past_violation();
+  workspace.set_continue_past_violation(options.continue_past_violation);
+  const auto out = Replayer(trace, witness, workspace, options).run();
+  workspace.set_continue_past_violation(saved);
+  return out;
 }
 
 }  // namespace mcsym::check

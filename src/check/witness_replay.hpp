@@ -21,9 +21,24 @@
 
 namespace mcsym::check {
 
+struct ReplayOptions {
+  /// By default the replay honors runtime semantics: a fired assertion is
+  /// terminal, so on a violating witness only the realized prefix is
+  /// validated (matching/flow as sub-multisets of the model's). With
+  /// continue_past_violation the System keeps executing past failed asserts
+  /// (System::set_continue_past_violation): the *whole* execution the model
+  /// values is realized, every fired assert lands in
+  /// ReplayedWitness::violations, and matching/flow are validated exactly —
+  /// this is how the verifier facade reports multi-violation executions.
+  bool continue_past_violation = false;
+};
+
 struct ReplayedWitness {
   std::vector<mcapi::Action> script;  // schedule realizing the witness
   bool violation = false;             // an assert fired during replay
+  /// Every assert that fired, in schedule order. Size <= 1 unless the
+  /// replay ran with continue_past_violation.
+  std::vector<mcapi::Violation> violations;
 };
 
 /// Reconstructs and executes the witness's schedule. Returns nullopt when
@@ -31,16 +46,16 @@ struct ReplayedWitness {
 /// encoding admitted an infeasible execution).
 [[nodiscard]] std::optional<ReplayedWitness> schedule_from_witness(
     const mcapi::Program& program, const trace::Trace& trace,
-    const encode::Witness& witness);
+    const encode::Witness& witness, ReplayOptions options = {});
 
 /// Same, but replays into `workspace` — a journaling System
 /// (enable_undo_log) for the trace's program, rolled back to its initial
 /// state first. Batch callers (the differential harness replays thousands
 /// of witnesses per run) reuse one workspace across schedules instead of
 /// constructing a fresh System each time; the workspace is left at the end
-/// of the replayed schedule.
+/// of the replayed schedule (with its continue-past-violation flag restored).
 [[nodiscard]] std::optional<ReplayedWitness> schedule_from_witness(
     mcapi::System& workspace, const trace::Trace& trace,
-    const encode::Witness& witness);
+    const encode::Witness& witness, ReplayOptions options = {});
 
 }  // namespace mcsym::check

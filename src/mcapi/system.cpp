@@ -29,7 +29,9 @@ System::System(const Program& program, DeliveryMode mode)
 
 bool System::thread_can_step(ThreadRef t) const {
   const ThreadState& ts = threads_[t];
-  if (ts.halted || violation_.has_value()) return false;
+  if (ts.halted || (violation_.has_value() && !continue_past_violation_)) {
+    return false;
+  }
   const Instr& i = program_->thread(t).code[ts.pc];
   switch (i.kind) {
     case OpKind::kRecv:
@@ -179,7 +181,9 @@ bool dependent(const ActionFootprint& a, const ActionFootprint& b,
 
 void System::enabled(std::vector<Action>& out) const {
   out.clear();
-  if (violation_.has_value()) return;  // violations are terminal
+  if (violation_.has_value() && !continue_past_violation_) {
+    return;  // violations are terminal
+  }
   for (ThreadRef t = 0; t < threads_.size(); ++t) {
     if (thread_can_step(t)) {
       out.push_back(Action{Action::Kind::kThreadStep, t, {}});
@@ -206,7 +210,9 @@ std::size_t System::transit_size(ChannelId channel) const {
 }
 
 bool System::action_enabled(const Action& action) const {
-  if (violation_.has_value()) return false;  // violations are terminal
+  if (violation_.has_value() && !continue_past_violation_) {
+    return false;  // violations are terminal
+  }
   if (action.kind == Action::Kind::kThreadStep) {
     return thread_can_step(action.thread);
   }
@@ -223,7 +229,9 @@ bool System::all_halted() const {
 }
 
 bool System::deadlocked() const {
-  if (violation_.has_value() || all_halted()) return false;
+  if ((violation_.has_value() && !continue_past_violation_) || all_halted()) {
+    return false;
+  }
   std::vector<Action> acts;
   enabled(acts);
   return acts.empty();
@@ -284,7 +292,14 @@ void System::undo() {
   ts.halted = u.prev_halted;
   ts.pc = u.prev_pc;
   --ts.op_count;
-  if (u.fired_violation) violation_.reset();
+  if (u.fired_violation) {
+    violations_.pop_back();
+    if (violations_.empty()) {
+      violation_.reset();
+    } else {
+      violation_ = violations_.front();
+    }
+  }
   for (std::uint8_t k = u.locals_written; k-- > 0;) {
     ts.locals[u.local_slot[k]] = u.local_old[k];
   }
@@ -611,7 +626,8 @@ void System::step_thread(ThreadRef t, ExecSink* sink, UndoRecord* u) {
     case OpKind::kAssert: {
       const bool held = i.cond.eval(ts.locals.data());
       if (!held) {
-        violation_ = Violation{t, ts.op_count, i.cond};
+        violations_.push_back(Violation{t, ts.op_count, i.cond});
+        if (!violation_.has_value()) violation_ = violations_.front();
         if (u != nullptr) u->fired_violation = true;
       }
       ev.kind = ExecEvent::Kind::kAssert;
@@ -677,7 +693,9 @@ std::uint64_t System::fingerprint() const {
     channels ^= ch;
   }
   mix(channels);
-  mix(violation_.has_value() ? 1 : 0);
+  // Violation *count*, so continue-past-violation states that differ only in
+  // how many asserts already fired never collide.
+  mix(violations_.size());
   return h;
 }
 
@@ -756,7 +774,7 @@ support::Hash128 System::history_fingerprint() const {
     hasher.mix(b.op_index);
     hasher.mix(b.taken ? 1 : 0);
   }
-  hasher.mix(violation_.has_value() ? 1 : 0);
+  hasher.mix(violations_.size());
   return hasher.digest();
 }
 

@@ -251,6 +251,23 @@ class System {
   [[nodiscard]] bool has_violation() const { return violation_.has_value(); }
   [[nodiscard]] const std::optional<Violation>& violation() const { return violation_; }
 
+  /// By default a fired assertion is terminal: nothing is enabled past it
+  /// (the runtime stops at the first failed assert). In
+  /// continue-past-violation mode execution keeps going — every failed
+  /// assert is appended to violations() and threads stay runnable — so a
+  /// replayer can realize the *whole* execution a symbolic model values,
+  /// violations after the first included. Fully undo-log compatible: each
+  /// undone assert pops its entry again.
+  void set_continue_past_violation(bool on) { continue_past_violation_ = on; }
+  [[nodiscard]] bool continue_past_violation() const {
+    return continue_past_violation_;
+  }
+  /// Every assertion that fired so far, in execution order. At most one
+  /// entry (== violation()) outside continue-past-violation mode.
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+
   [[nodiscard]] const std::vector<MatchRecord>& matches() const { return matches_; }
   [[nodiscard]] const std::vector<BranchRecord>& branches() const { return branches_; }
 
@@ -372,7 +389,9 @@ class System {
   // Channel queues in deterministic order: keyed vector (src, dst) -> deque.
   std::vector<std::pair<ChannelId, std::deque<Message>>> transit_;
   SendUid next_uid_ = 1;
-  std::optional<Violation> violation_;
+  std::optional<Violation> violation_;  // first fired assert (== violations_.front())
+  std::vector<Violation> violations_;
+  bool continue_past_violation_ = false;
   std::vector<MatchRecord> matches_;
   std::vector<BranchRecord> branches_;
   bool journaling_ = false;

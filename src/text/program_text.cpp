@@ -730,6 +730,10 @@ std::vector<std::string> uniquify(std::vector<std::string> names) {
 
 }  // namespace
 
+std::string cond_to_text(const mcapi::Cond& cond, const support::Interner& names) {
+  return render_cond(cond, names);
+}
+
 std::string ParseOutcome::error_text() const {
   std::string out;
   for (const Diagnostic& d : diagnostics) {

@@ -100,4 +100,10 @@ struct PropertyParseResult {
 [[nodiscard]] PropertyParseResult parse_property(const mcapi::Program& program,
                                                  std::string_view body);
 
+/// Renders a condition in source syntax ("A == 20"). `names` is the
+/// interner of the program the condition came from. Shared by the program
+/// printer and the verifier facade's reports.
+[[nodiscard]] std::string cond_to_text(const mcapi::Cond& cond,
+                                       const support::Interner& names);
+
 }  // namespace mcsym::text

@@ -225,6 +225,67 @@ TEST(CliTest, SolveRunsOnDumpedProblems) {
   EXPECT_NE(solve.output.find("clk_"), std::string::npos) << "model echoed";
 }
 
+// The `verify` exit-code contract: 0 = safe, 1 = violation or deadlock
+// reachable, 2 = usage error, 3 = budget exhausted / no verdict. Scripts
+// and CI gates key off these, so each code is pinned here.
+TEST(CliTest, VerifyExitCodeContract) {
+  // 0: figure1 has no in-program asserts, so the whole-program engines
+  // prove it safe (the end-of-run property is symbolic-only).
+  const CliResult safe = run_cli("verify " + figure1() + " --engine=explicit");
+  EXPECT_EQ(safe.exit_code, 0) << safe.output;
+  EXPECT_NE(safe.output.find("verdict: safe"), std::string::npos);
+
+  // 1 (violation): the portfolio folds the symbolic property verdict in.
+  const CliResult violation =
+      run_cli("verify " + figure1() + " --engine=portfolio");
+  EXPECT_EQ(violation.exit_code, 1) << violation.output;
+  EXPECT_NE(violation.output.find("verdict: violation"), std::string::npos);
+
+  // 1 (deadlock): a receive nothing ever feeds.
+  const std::string stuck = testing::TempDir() + "/mcsym_stuck.mcp";
+  {
+    std::ofstream out(stuck);
+    out << "thread t0\n  endpoint e0\n  recv e0 -> A\n";
+  }
+  const CliResult deadlock = run_cli("verify " + stuck + " --engine=dpor");
+  EXPECT_EQ(deadlock.exit_code, 1) << deadlock.output;
+  EXPECT_NE(deadlock.output.find("verdict: deadlock"), std::string::npos);
+  EXPECT_NE(deadlock.output.find("deadlock schedule:"), std::string::npos);
+
+  // `check` on a program whose recorded run deadlocks: the trace is a
+  // prefix artifact, so instead of a bogus symbolic verdict (or a
+  // misleading usage error) the CLI reports the concrete deadlock.
+  const CliResult check_deadlock = run_cli("check " + stuck);
+  EXPECT_EQ(check_deadlock.exit_code, 1) << check_deadlock.output;
+  EXPECT_NE(check_deadlock.output.find("deadlock:"), std::string::npos);
+
+  // 2: usage error (unknown engine).
+  const CliResult usage = run_cli("verify " + figure1() + " --engine=bogus");
+  EXPECT_EQ(usage.exit_code, 2);
+  EXPECT_NE(usage.output.find("unknown --engine"), std::string::npos);
+
+  // 3: budget exhausted before a verdict.
+  const CliResult budget =
+      run_cli("verify " + figure1() + " --engine=explicit --max-states 1");
+  EXPECT_EQ(budget.exit_code, 3) << budget.output;
+  EXPECT_NE(budget.output.find("verdict: budget-exhausted"), std::string::npos);
+}
+
+TEST(CliTest, VerifyJsonEmitsTheReportContract) {
+  const CliResult r =
+      run_cli("verify " + figure1() + " --engine=portfolio --json");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("\"schema\": \"mcsym.verify/1\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"verdict\": \"violation\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"witness_schedule\": ["), std::string::npos);
+  EXPECT_NE(r.output.find("\"portfolio\": {"), std::string::npos);
+  // All four engines appear in the portfolio report.
+  for (const char* engine : {"\"explicit\"", "\"dpor\"", "\"dpor-sleepset\"",
+                             "\"symbolic\""}) {
+    EXPECT_NE(r.output.find(engine), std::string::npos) << engine;
+  }
+}
+
 TEST(CliTest, SeedSelectsDifferentSchedules) {
   // Different seeds may record different traces, but verdicts must agree —
   // the encoding quantifies over all executions consistent with the trace.

@@ -4,6 +4,7 @@
 
 #include "check/baselines.hpp"
 #include "check/symbolic_checker.hpp"
+#include "check/verifier.hpp"
 #include "check/workloads.hpp"
 #include "mcapi/executor.hpp"
 #include "smt/smtlib.hpp"
@@ -73,6 +74,39 @@ TEST(IntegrationTest, EveryWorkloadRunsAndEncodes) {
       done = true;
     }
     EXPECT_TRUE(done) << "no completing run found for " << c.name;
+  }
+}
+
+TEST(IntegrationTest, VerifierPortfolioAgreesOnEveryWorkload) {
+  // The facade's end-to-end story on the shipped workloads: all four
+  // engines behind one call, verdicts normalized, cross-checks silent.
+  struct Case {
+    const char* name;
+    mcapi::Program program;
+    check::Verdict expected;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"figure1", wl::figure1(), check::Verdict::kSafe});
+  cases.push_back(
+      {"message_race", wl::message_race(2, 2), check::Verdict::kSafe});
+  cases.push_back({"pipeline", wl::pipeline(3, 2), check::Verdict::kSafe});
+  cases.push_back(
+      {"scatter_gather", wl::scatter_gather(2), check::Verdict::kViolation});
+  cases.push_back({"nonblocking_gather", wl::nonblocking_gather(2),
+                   check::Verdict::kViolation});
+
+  check::Verifier verifier;
+  for (auto& c : cases) {
+    check::VerifyRequest req;
+    req.engine = check::Engine::kPortfolio;
+    req.traces = 3;
+    const check::VerifyReport report = verifier.verify(c.program, req);
+    EXPECT_EQ(report.verdict, c.expected) << c.name;
+    EXPECT_TRUE(report.agreed())
+        << c.name << ": " << report.disagreements.front();
+    if (c.expected == check::Verdict::kViolation) {
+      EXPECT_FALSE(report.witness_schedule.empty()) << c.name;
+    }
   }
 }
 

@@ -47,6 +47,34 @@ TEST(ReplayTest, Figure1ViolationWitnessReplays) {
   EXPECT_FALSE(replayed->script.empty());
 }
 
+TEST(ReplayTest, ContinuePastViolationRealizesTheWholeExecution) {
+  // Default replay stops at the first fired assert and validates only the
+  // realized prefix; continue-past-violation realizes the whole execution
+  // the model values, holds the matching to exact equality, and reports
+  // every fired assert.
+  const auto [program, properties] = wl::figure1_with_property();
+  (void)properties;
+  const trace::Trace tr = record(program, 42, false);
+  SymbolicChecker checker(tr);
+  const SymbolicVerdict v = checker.check();
+  ASSERT_TRUE(v.violation_possible());
+  ASSERT_TRUE(v.witness.has_value());
+
+  const auto prefix = schedule_from_witness(program, tr, *v.witness);
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_TRUE(prefix->violation);
+
+  ReplayOptions ro;
+  ro.continue_past_violation = true;
+  const auto full = schedule_from_witness(program, tr, *v.witness, ro);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_TRUE(full->violation);
+  ASSERT_FALSE(full->violations.empty());
+  // The full replay covers at least the prefix replay's schedule: nothing
+  // the model valued was left unexecuted.
+  EXPECT_GE(full->script.size(), prefix->script.size());
+}
+
 TEST(ReplayTest, ScatterGatherWitnessReplays) {
   const mcapi::Program p = wl::scatter_gather(3);
   for (std::uint64_t seed = 0; seed < 32; ++seed) {

@@ -139,5 +139,49 @@ TEST(UndoLog, ViolationRollsBack) {
   EXPECT_EQ(enabled.size(), 1u);  // the assert is steppable again
 }
 
+// Continue-past-violation mode: fired asserts are collected, not terminal,
+// and the undo journal pops them back off one by one — violation() always
+// names the *first* fired assert of the live prefix.
+TEST(UndoLog, ContinuePastViolationCollectsAndUndoes) {
+  Program p;
+  auto t = p.add_thread("t");
+  t.assign("x", ThreadBuilder::c(1))
+      .assert_that(Cond{t.v("x"), Rel::kEq, ThreadBuilder::c(2)})   // fires
+      .assert_that(Cond{t.v("x"), Rel::kEq, ThreadBuilder::c(3)})   // fires
+      .assign("x", ThreadBuilder::c(9));
+  p.finalize();
+
+  System sys(p);
+  sys.enable_undo_log();
+  sys.set_continue_past_violation(true);
+  std::vector<Action> enabled;
+  auto step = [&] {
+    sys.enabled(enabled);
+    ASSERT_EQ(enabled.size(), 1u);
+    sys.apply(enabled.front());
+  };
+  step();  // assign
+  step();  // first assert fires
+  ASSERT_TRUE(sys.has_violation());
+  ASSERT_EQ(sys.violations().size(), 1u);
+  const System::Checkpoint after_first = sys.checkpoint();
+  step();  // second assert fires too — execution kept going
+  step();  // trailing assign still runs
+  ASSERT_EQ(sys.violations().size(), 2u);
+  EXPECT_EQ(sys.violations()[0].op_index, 1u);
+  EXPECT_EQ(sys.violations()[1].op_index, 2u);
+  ASSERT_TRUE(sys.violation().has_value());
+  EXPECT_EQ(sys.violation()->op_index, 1u);  // first fired assert
+  EXPECT_TRUE(sys.thread_halted(0));
+
+  sys.rollback(after_first);
+  ASSERT_EQ(sys.violations().size(), 1u);
+  ASSERT_TRUE(sys.violation().has_value());
+  EXPECT_EQ(sys.violation()->op_index, 1u);
+  sys.rollback(0);
+  EXPECT_FALSE(sys.has_violation());
+  EXPECT_TRUE(sys.violations().empty());
+}
+
 }  // namespace
 }  // namespace mcsym::mcapi

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare two Google-Benchmark JSON files.
+
+Usage:
+    bench_gate.py OLD.json NEW.json [--benchmark NAME ...] [--max-ratio R]
+
+Fails (exit 1) when any named benchmark's cpu_time in NEW exceeds
+max-ratio x its cpu_time in OLD. Benchmarks named but missing from OLD are
+reported and skipped (first run after a rename must not trip the gate);
+benchmarks missing from NEW are a hard failure (the series silently
+disappeared). Default benchmark: BM_Dpor_MessageRace/4, the headline
+instance of the checkpoint/undo execution core.
+
+The nightly workflow feeds this with the previous run's bench-json
+artifact, turning the accumulating perf trajectory into an alarm instead
+of a write-only archive.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    """benchmark name -> cpu_time (ns), aggregates excluded."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        times[bench["name"]] = float(bench["cpu_time"])
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old_json")
+    parser.add_argument("new_json")
+    parser.add_argument(
+        "--benchmark",
+        action="append",
+        default=None,
+        help="benchmark name to gate (repeatable; default BM_Dpor_MessageRace/4)",
+    )
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="fail when new cpu_time > max-ratio * old cpu_time (default 2.0)",
+    )
+    args = parser.parse_args()
+    benchmarks = args.benchmark or ["BM_Dpor_MessageRace/4"]
+
+    old_times = load_times(args.old_json)
+    new_times = load_times(args.new_json)
+
+    failed = False
+    for name in benchmarks:
+        if name not in new_times:
+            print(f"FAIL {name}: missing from {args.new_json}")
+            failed = True
+            continue
+        if name not in old_times:
+            print(f"skip {name}: no baseline in {args.old_json}")
+            continue
+        old, new = old_times[name], new_times[name]
+        ratio = new / old if old > 0 else float("inf")
+        verdict = "FAIL" if ratio > args.max_ratio else "ok"
+        print(
+            f"{verdict} {name}: {old:.0f}ns -> {new:.0f}ns "
+            f"({ratio:.2f}x, limit {args.max_ratio:.2f}x)"
+        )
+        failed |= ratio > args.max_ratio
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

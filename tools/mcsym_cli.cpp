@@ -10,13 +10,19 @@
 //
 //   mcsym run FILE        execute once on the simulated runtime
 //   mcsym trace FILE      print the recorded trace, one event per line
+//   mcsym verify FILE     one-stop verification through the Verifier facade
+//                         (--engine selects symbolic/explicit/dpor/portfolio)
 //   mcsym check FILE      verify safety properties symbolically
 //   mcsym enumerate FILE  enumerate every feasible send/receive pairing
 //   mcsym smt FILE        emit the SMT problem as SMT-LIB2 text
 //   mcsym fmt FILE        reprint the program in canonical form
 //
-// Exit codes: 0 = success / property verified (UNSAT); 1 = a property
-// violation is reachable (SAT); 2 = usage or input error.
+// `check` and `enumerate` are thin wrappers over the same
+// check::Verifier facade `verify` drives; the facade owns trace
+// recording, engine plumbing, witness replay, and cross-checking.
+//
+// Exit codes: 0 = success / verified safe; 1 = a violation or deadlock is
+// reachable; 2 = usage or input error; 3 = budget exhausted / no verdict.
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -27,9 +33,7 @@
 #include <vector>
 
 #include "check/diagnose.hpp"
-#include "check/explicit_checker.hpp"
-#include "check/symbolic_checker.hpp"
-#include "check/witness_replay.hpp"
+#include "check/verifier.hpp"
 #include "mcapi/executor.hpp"
 #include "smt/smtlib.hpp"
 #include "smt/smtlib_parser.hpp"
@@ -38,8 +42,8 @@
 
 namespace {
 
-using mcsym::check::SymbolicChecker;
 using mcsym::check::SymbolicOptions;
+using mcsym::check::Verifier;
 using mcsym::text::ParseOutcome;
 
 constexpr const char* kUsage = R"(usage: mcsym COMMAND FILE.mcp [options]
@@ -47,6 +51,8 @@ constexpr const char* kUsage = R"(usage: mcsym COMMAND FILE.mcp [options]
 commands:
   run        execute the program once on the simulated MCAPI runtime
   trace      record one execution and print its trace text
+  verify     answer "can any execution violate a property or deadlock?"
+             with a selectable engine (see --engine) and budgets
   check      decide whether any execution consistent with the recorded
              trace violates a property (the paper's SMT pipeline)
   enumerate  enumerate every feasible send/receive pairing of the trace
@@ -54,6 +60,16 @@ commands:
   smt        print the SMT problem (SMT-LIB2) for the recorded trace
   solve      run the built-in CDCL+IDL solver on an SMT-LIB2 file
   fmt        parse and reprint the program in canonical form
+
+verify options:
+  --engine NAME        symbolic | explicit | dpor | dpor-sleepset | portfolio
+                       (default dpor; --engine=NAME also accepted)
+  --json               print the machine-readable report (mcsym.verify/1)
+  --max-seconds S      joint wall-clock budget across all engines (default off)
+  --max-states N       explicit-state budget (states expanded)
+  --max-transitions N  DPOR budget (transitions executed)
+  --conflicts N        CDCL conflict budget per solver query (default off)
+  --traces N           traces to record and check (symbolic/portfolio, default 1)
 
 common options:
   --seed N             scheduler seed for the recorded execution (default 1)
@@ -78,7 +94,9 @@ common options:
                        enumerate) (diagnose)
   -o FILE              write primary output to FILE instead of stdout
 
-exit codes: 0 ok / verified; 1 violation possible (check: SAT); 2 error
+exit codes: 0 ok / verified safe; 1 violation or deadlock reachable
+            (check: SAT); 2 usage or input error; 3 budget exhausted /
+            no verdict (verify)
 )";
 
 struct Options {
@@ -97,6 +115,14 @@ struct Options {
   bool with_mcc = false;
   std::vector<std::string> pairs;
   std::string out_path;
+  // verify
+  std::string engine = "dpor";
+  bool json = false;
+  double max_seconds = 0;
+  std::uint64_t max_states = 0;       // 0 = facade default
+  std::uint64_t max_transitions = 0;  // 0 = facade default
+  std::uint64_t conflicts = 0;
+  std::uint32_t traces = 1;
 };
 
 int fail(const std::string& message) {
@@ -142,6 +168,34 @@ std::optional<Options> parse_args(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
       o.pairs.emplace_back(v);
+    } else if (a == "--engine") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      o.engine = v;
+    } else if (a.rfind("--engine=", 0) == 0) {
+      o.engine = a.substr(9);
+    } else if (a == "--json") {
+      o.json = true;
+    } else if (a == "--max-seconds") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      o.max_seconds = std::strtod(v, nullptr);
+    } else if (a == "--max-states") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      o.max_states = std::strtoull(v, nullptr, 10);
+    } else if (a == "--max-transitions") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      o.max_transitions = std::strtoull(v, nullptr, 10);
+    } else if (a == "--conflicts") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      o.conflicts = std::strtoull(v, nullptr, 10);
+    } else if (a == "--traces") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      o.traces = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (a == "-o") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
@@ -268,14 +322,125 @@ int cmd_trace(const Options& o) {
   return write_output(o, trace.to_text());
 }
 
+/// Maps a facade verdict to the documented exit-code contract:
+/// 0 safe, 1 violation or deadlock, 3 budget exhausted / no verdict.
+int verdict_exit_code(mcsym::check::Verdict verdict) {
+  switch (verdict) {
+    case mcsym::check::Verdict::kSafe: return 0;
+    case mcsym::check::Verdict::kViolation:
+    case mcsym::check::Verdict::kDeadlock: return 1;
+    case mcsym::check::Verdict::kBudgetExhausted:
+    case mcsym::check::Verdict::kUnknown: return 3;
+  }
+  return 3;
+}
+
+int cmd_verify(const Options& o) {
+  const auto engine = mcsym::check::engine_from_name(o.engine);
+  if (!engine.has_value()) {
+    return fail("unknown --engine '" + o.engine +
+                "' (symbolic, explicit, dpor, dpor-sleepset, portfolio)");
+  }
+  const auto lp = load(o);
+  if (!lp) return 2;
+
+  mcsym::check::VerifyRequest req;
+  req.engine = *engine;
+  req.budget.max_seconds = o.max_seconds;
+  if (o.max_states != 0) req.budget.max_states = o.max_states;
+  if (o.max_transitions != 0) req.budget.max_transitions = o.max_transitions;
+  req.budget.solver_conflicts = o.conflicts;
+  req.trace_seed = o.seed;
+  req.round_robin = o.round_robin;
+  req.traces = o.traces;
+  req.symbolic = symbolic_options(o);
+  req.properties = lp->properties;
+
+  Verifier verifier;
+  const auto vr = verifier.verify(lp->unit.program, req);
+
+  if (o.json) {
+    const int rc = write_output(o, mcsym::check::report_to_json(vr));
+    if (rc != 0) return rc;
+    return verdict_exit_code(vr.verdict);
+  }
+
+  std::ostringstream report;
+  report << "verdict: " << mcsym::check::verdict_name(vr.verdict);
+  if (vr.cancelled) report << " (cancelled)";
+  report << "\n";
+  const auto& names = lp->unit.program.interner();
+  for (const auto& v : vr.violations) {
+    report << "violation: " << lp->unit.program.thread(v.thread).name << " op#"
+           << v.op_index << ": " << mcsym::text::cond_to_text(v.cond, names)
+           << "\n";
+  }
+  if (!vr.witness_schedule.empty()) {
+    report << "witness schedule: " << vr.witness_schedule.size()
+           << " actions (replayable)\n";
+  }
+  if (vr.verdict == mcsym::check::Verdict::kDeadlock ||
+      !vr.deadlock_schedule.empty()) {
+    report << "deadlock schedule: " << vr.deadlock_schedule.size()
+           << " actions (replayable; 0 = the initial state deadlocks)\n";
+  }
+  for (const auto& run : vr.engines) {
+    report << "engine " << mcsym::check::engine_name(run.engine) << ": "
+           << mcsym::check::verdict_name(run.verdict)
+           << (run.truncated ? " (truncated)" : "") << ";";
+    for (const auto& [key, value] : run.counters) {
+      report << " " << key << "=" << value;
+    }
+    report << "\n";
+  }
+  for (const auto& d : vr.disagreements) {
+    report << "disagreement: " << d << "\n";
+  }
+  const int rc = write_output(o, report.str());
+  if (rc != 0) return rc;
+  return verdict_exit_code(vr.verdict);
+}
+
 int cmd_check(const Options& o) {
   const auto lp = load(o);
   if (!lp) return 2;
-  mcsym::trace::Trace trace(lp->unit.program);
-  (void)record(o, lp->unit.program, trace);
 
-  SymbolicChecker checker(trace, symbolic_options(o));
-  const auto verdict = checker.check(lp->properties);
+  // Thin wrapper over the Verifier facade's symbolic engine: the facade
+  // records the trace, runs the SMT pipeline, and (with --replay) replays
+  // the witness; this command just formats the raw per-trace result.
+  mcsym::check::VerifyRequest req;
+  req.engine = mcsym::check::Engine::kSymbolic;
+  req.trace_seed = o.seed;
+  req.round_robin = o.round_robin;
+  req.symbolic = symbolic_options(o);
+  req.properties = lp->properties;
+  req.replay_witnesses = o.replay;
+
+  Verifier verifier;
+  const auto vr = verifier.verify(lp->unit.program, req);
+  if (vr.trace_checks.empty()) {
+    return fail("recorded execution did not produce a trace");
+  }
+  const auto& tc = vr.trace_checks.front();
+  if (!tc.checked) {
+    // The recording itself ended the story before a symbolic query made
+    // sense; report what happened instead of a bogus verdict.
+    using Outcome = mcsym::mcapi::RunResult::Outcome;
+    if (tc.recorded == Outcome::kDeadlock) {
+      const int rc = write_output(
+          o, "deadlock: the recorded execution deadlocked; its trace is a "
+             "prefix artifact, not a checkable one (use `mcsym verify` for "
+             "a whole-program verdict)\n");
+      return rc != 0 ? rc : 1;
+    }
+    if (tc.recorded == Outcome::kStepLimit) {
+      return fail("recorded execution hit the step limit");
+    }
+    return fail("recorded execution left a structurally incomplete trace "
+                "(the violation stopped it mid-request); try another --seed");
+  }
+  const auto& verdict = tc.verdict;
+  const auto& trace = tc.trace;
 
   std::ostringstream report;
   switch (verdict.result) {
@@ -304,14 +469,18 @@ int cmd_check(const Options& o) {
     report << "\n" << verdict.witness->to_string(trace);
   }
   if (verdict.witness.has_value() && o.replay) {
-    const auto replayed = mcsym::check::schedule_from_witness(
-        lp->unit.program, trace, *verdict.witness);
-    if (!replayed.has_value()) {
+    // The facade already replayed the witness (continue-past-violation, so
+    // the whole modeled execution was realized, not just the prefix).
+    if (!tc.replay.has_value()) {
       report << "replay: FAILED to realize the witness (encoding bug?)\n";
     } else {
-      report << "replay: witness realized in " << replayed->script.size()
+      report << "replay: witness realized in " << tc.replay->script.size()
              << " steps; in-program asserts "
-             << (replayed->violation ? "fired" : "held");
+             << (tc.replay->violation ? "fired" : "held");
+      if (tc.replay->violations.size() > 1) {
+        report << " (" << tc.replay->violations.size()
+               << " violations along this execution)";
+      }
       if (!verdict.witness->violated.empty()) {
         report << "; end-of-run properties violated as listed above";
       }
@@ -326,11 +495,21 @@ int cmd_check(const Options& o) {
 int cmd_enumerate(const Options& o) {
   const auto lp = load(o);
   if (!lp) return 2;
-  mcsym::trace::Trace trace(lp->unit.program);
-  (void)record(o, lp->unit.program, trace);
 
-  SymbolicChecker checker(trace, symbolic_options(o));
-  const auto enumeration = checker.enumerate_matchings();
+  // Thin wrapper over the Verifier facade's enumeration: trace recording,
+  // the symbolic Figure-4 pipeline, and the optional explicit / MCC
+  // cross-checks all live there now.
+  mcsym::check::EnumerateRequest er;
+  er.trace_seed = o.seed;
+  er.round_robin = o.round_robin;
+  er.symbolic = symbolic_options(o);
+  er.with_explicit = o.with_explicit;
+  er.with_mcc = o.with_mcc;
+
+  Verifier verifier;
+  const auto en = verifier.enumerate(lp->unit.program, er);
+  const auto& enumeration = en.symbolic;
+  const auto& trace = en.trace;
 
   std::ostringstream report;
   report << enumeration.matchings.size() << " feasible pairing(s)"
@@ -349,23 +528,16 @@ int cmd_enumerate(const Options& o) {
     }
   }
 
-  if (o.with_explicit) {
-    mcsym::check::ExplicitOptions eopts;
-    eopts.collect_matchings = true;
-    mcsym::check::ExplicitChecker explicit_checker(lp->unit.program, eopts);
-    const auto truth = explicit_checker.enumerate_against(trace);
+  if (en.explicit_truth.has_value()) {
+    const auto& truth = *en.explicit_truth;
     report << "explicit-state ground truth: " << truth.matchings.size()
            << " pairing(s)" << (truth.truncated ? " (truncated)" : "")
            << (truth.matchings == enumeration.matchings ? " — agrees"
                                                         : " — MISMATCH")
            << "\n";
   }
-  if (o.with_mcc) {
-    mcsym::check::ExplicitOptions eopts;
-    eopts.collect_matchings = true;
-    eopts.mode = mcsym::mcapi::DeliveryMode::kGlobalFifo;
-    mcsym::check::ExplicitChecker mcc(lp->unit.program, eopts);
-    const auto restricted = mcc.enumerate_against(trace);
+  if (en.mcc.has_value()) {
+    const auto& restricted = *en.mcc;
     report << "MCC-style baseline (no delay nondeterminism): "
            << restricted.matchings.size() << " pairing(s)";
     if (restricted.matchings.size() < enumeration.matchings.size()) {
@@ -580,6 +752,7 @@ int main(int argc, char** argv) {
   }
   if (options->command == "run") return cmd_run(*options);
   if (options->command == "trace") return cmd_trace(*options);
+  if (options->command == "verify") return cmd_verify(*options);
   if (options->command == "check") return cmd_check(*options);
   if (options->command == "enumerate") return cmd_enumerate(*options);
   if (options->command == "diagnose") return cmd_diagnose(*options);
