@@ -1,0 +1,51 @@
+// Sharded optimal-DPOR scaling: BM_Dpor_Parallel_MessageRace sweeps the
+// racing-senders family (message_race(s, 2), the BM_Dpor_MessageRace
+// instances) over a worker-count axis {1, 2, 4, 8}. The workers == 1 row
+// is the serial engine (the baseline the nightly speedup gate divides by);
+// UseRealTime makes wall clock — not the summed CPU time of the worker
+// fleet — the reported metric, which is what a parallel speedup means.
+//
+// The per-run counters double as a determinism spot-check: executions is
+// the closed-form trace count (90 for /3, 2520 for /4) at EVERY worker
+// count, redundant is always 0, and duplicates (raced explorations the
+// sleep sets killed) is the price of sharding, reported so the gate can
+// see overhead, not just elapsed time.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "check/dpor.hpp"
+#include "check/workloads.hpp"
+
+namespace {
+
+using namespace mcsym;
+namespace wl = check::workloads;
+
+void BM_Dpor_Parallel_MessageRace(benchmark::State& state) {
+  const auto senders = static_cast<std::uint32_t>(state.range(0));
+  const auto workers = static_cast<std::uint32_t>(state.range(1));
+  const mcapi::Program p = wl::message_race(senders, 2);
+  check::DporOptions opts;
+  opts.workers = workers;
+  check::DporStats stats;
+  for (auto _ : state) {
+    check::DporChecker checker(p, opts);
+    const auto r = checker.run();
+    stats = r.stats;
+    benchmark::DoNotOptimize(r.stats.terminal_states);
+  }
+  state.counters["executions"] = static_cast<double>(stats.executions);
+  state.counters["transitions"] = static_cast<double>(stats.transitions);
+  state.counters["redundant"] =
+      static_cast<double>(stats.redundant_explorations);
+  state.counters["duplicates"] =
+      static_cast<double>(stats.parallel_duplicates);
+}
+BENCHMARK(BM_Dpor_Parallel_MessageRace)
+    ->ArgsProduct({{3, 4}, {1, 2, 4, 8}})
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

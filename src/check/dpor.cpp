@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "check/dpor_internal.hpp"
 #include "support/assert.hpp"
 #include "support/stats.hpp"
 
@@ -25,117 +26,10 @@ bool DporChecker::independent(const System& state, const Action& a,
 
 namespace {
 
-constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
-
-bool is_internal_step(const System& state, const Action& a) {
-  if (a.kind != Action::Kind::kThreadStep) return false;
-  const auto kind = state.next_op_kind(a.thread);
-  if (!kind) return false;
-  switch (*kind) {
-    case OpKind::kAssign:
-    case OpKind::kJmp:
-    case OpKind::kJmpIf:
-    case OpKind::kAssert:
-    case OpKind::kNop:
-      return true;
-    default:
-      return false;
-  }
-}
-
-/// Position of the first event of process `p` in `w` when that event
-/// commutes with everything before it (p is a weak initial of w); kNpos
-/// when p does not occur or cannot be brought to the front.
-std::size_t weak_initial_pos(const Action& p,
-                             const std::vector<ActionFootprint>& w,
-                             mcapi::DeliveryMode mode) {
-  for (std::size_t j = 0; j < w.size(); ++j) {
-    if (!(w[j].action == p)) continue;
-    for (std::size_t l = 0; l < j; ++l) {
-      if (mcapi::dependent(w[l], w[j], mode)) return kNpos;
-    }
-    return j;
-  }
-  return kNpos;
-}
-
-/// Ordered tree of scheduled revisit sequences (branches are paths from
-/// the root), per the POPL'14 wakeup-tree construction: insertion walks
-/// existing branches consuming weak initials of the new sequence, returns
-/// unchanged when an existing branch is already a weak prefix of it, and
-/// otherwise grafts the remainder as a fresh rightmost branch.
-class WakeupTree {
- public:
-  [[nodiscard]] bool empty() const { return root_kids_.empty(); }
-
-  /// Inserts `w`; returns the number of nodes actually added.
-  std::size_t insert(std::vector<ActionFootprint> w, mcapi::DeliveryMode mode) {
-    std::uint32_t at = kRoot;
-    while (true) {
-      if (w.empty()) return 0;  // the walked path already covers w
-      if (at != kRoot && kids(at).empty()) return 0;  // existing leaf ⊑ w
-      bool descended = false;
-      for (const std::uint32_t c : kids(at)) {
-        const std::size_t j = weak_initial_pos(nodes_[c].ev.action, w, mode);
-        if (j == kNpos) continue;
-        w.erase(w.begin() + static_cast<std::ptrdiff_t>(j));
-        at = c;
-        descended = true;
-        break;
-      }
-      if (descended) continue;
-      std::size_t added = 0;
-      for (ActionFootprint& e : w) {
-        nodes_.push_back(Node{std::move(e), {}});
-        const auto idx = static_cast<std::uint32_t>(nodes_.size() - 1);
-        kids(at).push_back(idx);
-        at = idx;
-        ++added;
-      }
-      return added;
-    }
-  }
-
-  /// Detaches the leftmost branch: its first event plus the subtree below
-  /// it, which becomes the scheduled tree of the child exploration. Nodes
-  /// are moved out (their slots in this arena become unreachable garbage,
-  /// reclaimed when the frame's tree dies).
-  std::pair<ActionFootprint, WakeupTree> pop_first() {
-    MCSYM_ASSERT(!root_kids_.empty());
-    const std::uint32_t first = root_kids_.front();
-    root_kids_.erase(root_kids_.begin());
-    WakeupTree sub;
-    for (const std::uint32_t c : nodes_[first].kids) {
-      const std::uint32_t moved = sub.take_from(*this, c);
-      sub.root_kids_.push_back(moved);
-    }
-    return {std::move(nodes_[first].ev), std::move(sub)};
-  }
-
- private:
-  struct Node {
-    ActionFootprint ev;
-    std::vector<std::uint32_t> kids;
-  };
-  static constexpr std::uint32_t kRoot = static_cast<std::uint32_t>(-1);
-
-  std::vector<std::uint32_t>& kids(std::uint32_t at) {
-    return at == kRoot ? root_kids_ : nodes_[at].kids;
-  }
-
-  std::uint32_t take_from(WakeupTree& other, std::uint32_t idx) {
-    nodes_.push_back(Node{std::move(other.nodes_[idx].ev), {}});
-    const auto mine = static_cast<std::uint32_t>(nodes_.size() - 1);
-    for (const std::uint32_t c : other.nodes_[idx].kids) {
-      const std::uint32_t moved = take_from(other, c);
-      nodes_[mine].kids.push_back(moved);
-    }
-    return mine;
-  }
-
-  std::vector<Node> nodes_;
-  std::vector<std::uint32_t> root_kids_;
-};
+using dpor_detail::is_internal_step;
+using dpor_detail::kNpos;
+using dpor_detail::WakeupTree;
+using dpor_detail::weak_initial_pos;
 
 /// One node of the exploration stack: reduction bookkeeping only — the
 /// revisit sequences still scheduled here and the sibling actions whose
@@ -188,24 +82,7 @@ void DporChecker::run_optimal(DporResult& result,
   // no state mutation, no prefix restore. Anything richer (recv_i/wait,
   // polls, wait_any, branches, asserts) or global-FIFO delivery falls back
   // to the live-System simulation.
-  bool countable = mode == mcapi::DeliveryMode::kArbitraryDelay;
-  for (mcapi::ThreadRef t = 0; countable && t < program_.num_threads(); ++t) {
-    for (const mcapi::Instr& i : program_.thread(t).code) {
-      switch (i.kind) {
-        case OpKind::kRecvNb:
-        case OpKind::kWait:
-        case OpKind::kWaitAny:
-        case OpKind::kTest:
-        case OpKind::kAssert:
-        case OpKind::kJmpIf:
-          countable = false;
-          break;
-        default:
-          break;
-      }
-      if (!countable) break;
-    }
-  }
+  const bool countable = dpor_detail::countable_program(program_, mode);
   // Scratch counters reused across candidates: per-channel in-transit and
   // per-endpoint delivered-queue lengths reconstructed at the race point.
   std::vector<std::pair<mcapi::ChannelId, std::ptrdiff_t>> chan_len;
@@ -610,6 +487,8 @@ DporResult DporChecker::run() {
     std::vector<Action> sleep;
     std::vector<Action> script;
     explore_sleepset(sys, sleep, script, result, timer);
+  } else if (options_.workers > 1) {
+    run_parallel(result, timer);
   } else {
     run_optimal(result, timer);
   }

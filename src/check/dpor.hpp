@@ -68,8 +68,27 @@ struct DporOptions {
   /// Optional cooperative cancellation probe, polled on the same amortized
   /// schedule as the wall clock: returning true abandons the search with
   /// result.truncated set. The Verifier facade routes its
-  /// progress/cancellation callback through this hook.
+  /// progress/cancellation callback through this hook. With workers > 1
+  /// every worker probes it concurrently, so the callable must be
+  /// thread-safe (the facade's is).
   std::function<bool()> interrupted;
+  /// Exploration threads for optimal mode. 1 (default) runs the serial code
+  /// path byte-for-byte. N > 1 shards the wakeup-tree frontier across N
+  /// workers, each replaying claimed prefixes on its own journaling System.
+  /// The trace-determined counters — executions, terminal_states, deadlock
+  /// counts — and all verdicts are identical to serial on non-violating
+  /// programs for every N (sleep sets kill raced duplicate explorations
+  /// before they complete; their work lands in parallel_duplicates, not in
+  /// the trace counters). Sleep-set-blocked paths also land there, so
+  /// redundant_explorations is always 0 in parallel and executions equals
+  /// serial executions minus serial redundant_explorations (equal outright
+  /// whenever serial redundant is 0, i.e. on every observer-free program).
+  /// transitions counts the distinct prefixes of completed executions and
+  /// matches serial except in rare claim races that change which
+  /// linearization of a trace gets explored; races_detected / wakeup_nodes
+  /// are scheduling-work counters and depend on claim order. Sleep-set mode
+  /// ignores this and always runs serially.
+  std::uint32_t workers = 1;
 };
 
 /// Exploration counters. `executions` counts every maximal explored path:
@@ -87,6 +106,13 @@ struct DporStats {
                                              // sleeping sibling
   std::uint64_t wakeup_nodes = 0;            // optimal: wakeup-tree nodes inserted
   std::uint64_t redundant_explorations = 0;  // sleep-set-blocked maximal paths
+  /// workers > 1 only: explorations abandoned because a concurrent claim
+  /// raced a scheduled insert (the sibling-order dependency wakeup trees
+  /// impose cannot be kept exactly under concurrency). Sleep sets kill
+  /// every such duplicate before it completes, and its work is excluded
+  /// from executions/transitions/terminal_states — those counters stay
+  /// equal to the serial engine's. Always 0 when workers == 1.
+  std::uint64_t parallel_duplicates = 0;
 };
 
 struct DporResult {
@@ -116,6 +142,11 @@ class DporChecker {
 
  private:
   void run_optimal(DporResult& result, const support::Stopwatch& timer);
+  /// Sharded optimal exploration (options_.workers > 1): the whole wakeup
+  /// tree lives in shared memory, workers claim frontier branches from a
+  /// LIFO work stack and replay the claimed prefix on their own journaling
+  /// System. Implemented in dpor_parallel.cpp.
+  void run_parallel(DporResult& result, const support::Stopwatch& timer);
   /// Sleep-set DFS over the live journaling `sys`: each visited action is
   /// applied, explored, and rolled back to the frame's checkpoint.
   void explore_sleepset(mcapi::System& sys, std::vector<mcapi::Action>& sleep,

@@ -1,0 +1,159 @@
+// Internals shared by the serial (dpor.cpp) and parallel
+// (dpor_parallel.cpp) optimal-DPOR translation units: the weak-initial
+// test, the wakeup-tree arena, the internal-step classifier, and the
+// "countable program" scan behind the counting feasibility fast path.
+// Not part of the public check/ surface.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mcapi/system.hpp"
+#include "support/assert.hpp"
+
+namespace mcsym::check::dpor_detail {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+inline bool is_internal_step(const mcapi::System& state, const mcapi::Action& a) {
+  if (a.kind != mcapi::Action::Kind::kThreadStep) return false;
+  const auto kind = state.next_op_kind(a.thread);
+  if (!kind) return false;
+  switch (*kind) {
+    case mcapi::OpKind::kAssign:
+    case mcapi::OpKind::kJmp:
+    case mcapi::OpKind::kJmpIf:
+    case mcapi::OpKind::kAssert:
+    case mcapi::OpKind::kNop:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Position of the first event of process `p` in `w` when that event
+/// commutes with everything before it (p is a weak initial of w); kNpos
+/// when p does not occur or cannot be brought to the front.
+inline std::size_t weak_initial_pos(const mcapi::Action& p,
+                                    const std::vector<mcapi::ActionFootprint>& w,
+                                    mcapi::DeliveryMode mode) {
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    if (!(w[j].action == p)) continue;
+    for (std::size_t l = 0; l < j; ++l) {
+      if (mcapi::dependent(w[l], w[j], mode)) return kNpos;
+    }
+    return j;
+  }
+  return kNpos;
+}
+
+/// Ordered tree of scheduled revisit sequences (branches are paths from
+/// the root), per the POPL'14 wakeup-tree construction: insertion walks
+/// existing branches consuming weak initials of the new sequence, returns
+/// unchanged when an existing branch is already a weak prefix of it, and
+/// otherwise grafts the remainder as a fresh rightmost branch.
+class WakeupTree {
+ public:
+  [[nodiscard]] bool empty() const { return root_kids_.empty(); }
+
+  /// Inserts `w`; returns the number of nodes actually added.
+  std::size_t insert(std::vector<mcapi::ActionFootprint> w,
+                     mcapi::DeliveryMode mode) {
+    std::uint32_t at = kRoot;
+    while (true) {
+      if (w.empty()) return 0;  // the walked path already covers w
+      if (at != kRoot && kids(at).empty()) return 0;  // existing leaf ⊑ w
+      bool descended = false;
+      for (const std::uint32_t c : kids(at)) {
+        const std::size_t j = weak_initial_pos(nodes_[c].ev.action, w, mode);
+        if (j == kNpos) continue;
+        w.erase(w.begin() + static_cast<std::ptrdiff_t>(j));
+        at = c;
+        descended = true;
+        break;
+      }
+      if (descended) continue;
+      std::size_t added = 0;
+      for (mcapi::ActionFootprint& e : w) {
+        nodes_.push_back(Node{std::move(e), {}});
+        const auto idx = static_cast<std::uint32_t>(nodes_.size() - 1);
+        kids(at).push_back(idx);
+        at = idx;
+        ++added;
+      }
+      return added;
+    }
+  }
+
+  /// Detaches the leftmost branch: its first event plus the subtree below
+  /// it, which becomes the scheduled tree of the child exploration. Nodes
+  /// are moved out (their slots in this arena become unreachable garbage,
+  /// reclaimed when the frame's tree dies).
+  std::pair<mcapi::ActionFootprint, WakeupTree> pop_first() {
+    MCSYM_ASSERT(!root_kids_.empty());
+    const std::uint32_t first = root_kids_.front();
+    root_kids_.erase(root_kids_.begin());
+    WakeupTree sub;
+    for (const std::uint32_t c : nodes_[first].kids) {
+      const std::uint32_t moved = sub.take_from(*this, c);
+      sub.root_kids_.push_back(moved);
+    }
+    return {std::move(nodes_[first].ev), std::move(sub)};
+  }
+
+ private:
+  struct Node {
+    mcapi::ActionFootprint ev;
+    std::vector<std::uint32_t> kids;
+  };
+  static constexpr std::uint32_t kRoot = static_cast<std::uint32_t>(-1);
+
+  std::vector<std::uint32_t>& kids(std::uint32_t at) {
+    return at == kRoot ? root_kids_ : nodes_[at].kids;
+  }
+
+  std::uint32_t take_from(WakeupTree& other, std::uint32_t idx) {
+    nodes_.push_back(Node{std::move(other.nodes_[idx].ev), {}});
+    const auto mine = static_cast<std::uint32_t>(nodes_.size() - 1);
+    for (const std::uint32_t c : other.nodes_[idx].kids) {
+      const std::uint32_t moved = take_from(other, c);
+      nodes_[mine].kids.push_back(moved);
+    }
+    return mine;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> root_kids_;
+};
+
+/// Whether race-reversal feasibility can be decided by pure integer
+/// counting over footprints: a program whose only operations are send /
+/// blocking recv / straight-line locals under arbitrary-delay delivery.
+/// An action's enabledness then depends solely on a channel or endpoint
+/// queue LENGTH, and every footprinted op kind is fixed across replays
+/// (no data-dependent branches, no request observations, no asserts that
+/// could cut a simulation short).
+inline bool countable_program(const mcapi::Program& program,
+                              mcapi::DeliveryMode mode) {
+  if (mode != mcapi::DeliveryMode::kArbitraryDelay) return false;
+  for (mcapi::ThreadRef t = 0; t < program.num_threads(); ++t) {
+    for (const mcapi::Instr& i : program.thread(t).code) {
+      switch (i.kind) {
+        case mcapi::OpKind::kRecvNb:
+        case mcapi::OpKind::kWait:
+        case mcapi::OpKind::kWaitAny:
+        case mcapi::OpKind::kTest:
+        case mcapi::OpKind::kAssert:
+        case mcapi::OpKind::kJmpIf:
+          return false;
+        default:
+          break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mcsym::check::dpor_detail

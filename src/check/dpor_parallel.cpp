@@ -1,0 +1,847 @@
+// Sharded optimal-DPOR exploration (DporOptions::workers > 1).
+//
+// The serial engine (dpor.cpp, run_optimal) walks ONE wakeup tree
+// depth-first, detaching each branch as it descends. That detachment is
+// what parallelism must undo: a race found deep in one subtree schedules
+// revisit sequences into *ancestor* frames, so sibling subtrees are not
+// independent tasks — a late insert may need to graft into a branch some
+// other worker is already exploring. The shared-tree design here keeps
+// every frame and branch live in shared memory for the whole run:
+//
+//  * The exploration tree (Node = frame, Branch = wakeup-tree root child)
+//    is never detached. Workers CLAIM branches in place; a claim is a
+//    checkpoint recipe — walk parent pointers to recover the prefix
+//    schedule, replay it on the worker's own journaling System (rolling
+//    back only to the lowest common ancestor of the previous position),
+//    then explore the subtree depth-first exactly like the serial loop.
+//  * Sleep sets are EAGER and ordered: the sleep of branch b_i at a frame
+//    is the frame's inherited sleep plus the (non-internal) first actions
+//    of siblings ordered before b_i. Branch order is append-only (inserts
+//    graft under existing branches or append rightmost, never in front),
+//    so this set is fixed at b_i's creation — no need to wait for earlier
+//    siblings to COMPLETE, which is what serializes the serial algorithm.
+//    Sibling footprints are recomputed by the claimer at the frame's own
+//    state, so they equal what the serial engine would have recorded.
+//  * Race scans run once per tree edge: only the worker that first
+//    executes an event scans the prefix for reversible races; prefix
+//    replays rebuild events/happens-before rows but never re-scan, so
+//    races_detected and the insert set per tree position match the serial
+//    engine's.
+//  * One global mutex guards all tree mutation and the work stack. The
+//    expensive work — System apply/undo, feasibility simulations,
+//    happens-before rows — happens outside the lock on worker-private
+//    state; critical sections are pointer walks and vector pushes.
+//
+// Determinism: sibling branches of a wakeup tree are NOT independent —
+// scans inside an earlier sibling's subtree graft sequences into later
+// siblings' chains, so exploring them concurrently can commit a worker to
+// a linearization the serial engine would have folded into a scheduled
+// chain. Such a raced path is always killed by its sleep set before it
+// completes (the eager ordered-before entries survive filtering until the
+// path would execute them), so on violation-free programs the set of
+// COMPLETED maximal executions is still exactly one representative per
+// Mazurkiewicz trace: executions / terminal_states / deadlock counts and
+// all verdicts are identical to the serial engine for every worker count
+// (parallel_dpor_test pins this across workers ∈ {1,2,4,8}). The killed
+// duplicates land in stats.parallel_duplicates; transitions is charged at
+// path RETIREMENT (Node::counted), so duplicate-only prefixes never
+// inflate it — it matches serial except when a claim race changes which
+// linearization of a trace retires. races_detected / wakeup_nodes count
+// scheduling WORK, which depends on which worker reaches a race first. A
+// violation stops all workers at the first finder, so counters on
+// violating programs are partial, like any early exit.
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "check/dpor.hpp"
+#include "check/dpor_internal.hpp"
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+
+namespace mcsym::check {
+
+using mcapi::Action;
+using mcapi::ActionFootprint;
+using mcapi::OpKind;
+using mcapi::System;
+
+namespace {
+
+using dpor_detail::is_internal_step;
+using dpor_detail::kNpos;
+using dpor_detail::WakeupTree;
+using dpor_detail::weak_initial_pos;
+
+constexpr std::uint32_t kNoBranch = static_cast<std::uint32_t>(-1);
+
+struct Node;
+
+enum class BranchState : std::uint8_t { kPending, kClaimed, kDone };
+
+/// One wakeup-tree root child of a frame, live for the whole run. Until
+/// the branch executes, scheduled sequences below it live in `subtree`;
+/// execution atomically (under the tree mutex) moves them into the child
+/// Node, so concurrent grafts always land somewhere a worker will visit.
+struct Branch {
+  ActionFootprint ev;  // first event; .action/.internal authoritative, the
+                       // rest recomputed at execution
+  WakeupTree subtree;
+  std::unique_ptr<Node> child;  // set when the branch executes
+  BranchState state = BranchState::kPending;
+  /// True for an initial-pick seed (arbitrary first exploration of a fresh
+  /// frame), false for scheduled material (peeled chains and race inserts).
+  /// The serial engine's wakeup tree at a frame never contains DEEPER
+  /// frames' pick seeds — they are born after the branch detaches — so the
+  /// shared-tree insert walk must not treat them as scheduled chain nodes.
+  bool pick = false;
+};
+
+/// One frame of the shared exploration tree. parent/depth/arrival/
+/// inherited_sleep/maximal are written once at creation (under the tree
+/// mutex) and immutable afterwards; `branches` grows append-only under
+/// the mutex.
+struct Node {
+  Node* parent = nullptr;
+  std::uint32_t parent_branch = 0;
+  std::uint32_t depth = 0;
+  ActionFootprint arrival;  // footprint executed from parent (exact identities)
+  std::vector<ActionFootprint> inherited_sleep;
+  std::vector<Branch> branches;
+  bool maximal = false;  // no enabled action at this state
+  /// Arrival edge charged to stats.transitions. Edges are charged when a
+  /// completed (terminal/deadlocked/violating) path retires, so prefixes
+  /// explored only by raced-duplicate paths never inflate the counter.
+  bool counted = false;
+};
+
+class ParallelExplorer {
+ public:
+  ParallelExplorer(const mcapi::Program& program, const DporOptions& options,
+                   const support::Stopwatch& timer)
+      : program_(program),
+        options_(options),
+        timer_(timer),
+        mode_(options.mode),
+        countable_(dpor_detail::countable_program(program, options.mode)) {}
+
+  void run(DporResult& result);
+
+ private:
+  struct WorkItem {
+    Node* node = nullptr;
+    std::uint32_t branch = 0;
+  };
+
+  /// Worker-private exploration state: one journaling System walked up and
+  /// down the shared tree, plus the executed prefix's footprints and
+  /// happens-before rows (rebuilt on prefix replay, never shared).
+  struct Worker {
+    explicit Worker(const mcapi::Program& program, mcapi::DeliveryMode mode)
+        : sys(program, mode) {}
+    System sys;
+    std::vector<Node*> path;  // path[d] = node at depth d; back() = position
+    std::vector<ActionFootprint> events;  // events[d] = arrival into path[d+1]
+    std::vector<std::vector<bool>> hb;
+    std::vector<Action> enabled;
+    std::vector<bool> direct_dep;
+    std::vector<Node*> chain;  // navigate scratch
+    DporStats stats;
+    std::uint64_t probe = 0;
+    // count_feasible scratch
+    std::vector<std::pair<mcapi::ChannelId, std::ptrdiff_t>> chan_len;
+    std::vector<std::ptrdiff_t> ep_len;
+  };
+
+  void worker_main();
+  void explore(Worker& w, Node* entry, std::uint32_t entry_branch);
+  /// Executes the claimed branch `bi` of `node` (sys must be at node's
+  /// state). Returns the child node to descend into, or nullptr when the
+  /// branch ended (maximal state, sleep-blocked, violation, budget).
+  /// `abort` is set when the whole search should stop.
+  Node* execute_branch(Worker& w, Node* node, std::uint32_t bi, bool& abort);
+  void scan_races(Worker& w, const ActionFootprint& ev);
+  bool count_feasible(Worker& w, std::size_t k,
+                      const std::vector<ActionFootprint>& v);
+  void navigate(Worker& w, Node* target);
+  void push_event(Worker& w, const ActionFootprint& ev);
+  /// Inserts `w_` below `f`, walking branches >= min_branch at the top
+  /// level and every branch deeper. Requires mu_. Returns nodes added.
+  std::size_t insert_into_node(Node* f, std::uint32_t min_branch,
+                               std::vector<ActionFootprint> w_);
+  /// Charges the arrival edges of `leaf` and its uncounted ancestors to
+  /// the retiring path. Requires mu_. Returns the number of fresh edges.
+  static std::uint64_t retire_path(Node* leaf) {
+    std::uint64_t fresh = 0;
+    for (Node* n = leaf; n != nullptr && !n->counted; n = n->parent) {
+      n->counted = true;
+      ++fresh;
+    }
+    return fresh;
+  }
+  [[nodiscard]] bool over_budget(Worker& w);
+  void request_stop_truncated();
+
+  [[nodiscard]] static std::vector<Action> actions_of(
+      const std::vector<ActionFootprint>& events) {
+    std::vector<Action> script;
+    script.reserve(events.size());
+    for (const ActionFootprint& e : events) script.push_back(e.action);
+    return script;
+  }
+
+  const mcapi::Program& program_;
+  const DporOptions& options_;
+  const support::Stopwatch& timer_;
+  const mcapi::DeliveryMode mode_;
+  const bool countable_;
+
+  // Tree + scheduling state, guarded by mu_.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  Node root_;
+  std::vector<WorkItem> work_;  // LIFO; entries may be stale (state-checked)
+  std::uint64_t pending_ = 0;   // branches currently kPending
+  std::uint32_t busy_ = 0;      // workers not waiting for work
+  bool done_ = false;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> truncated_{false};
+  std::atomic<std::uint64_t> transitions_{0};
+
+  // Result fields (violation / deadlock / stats merge), guarded separately
+  // so a finisher never contends with tree traffic.
+  std::mutex result_mu_;
+  DporResult* result_ = nullptr;
+};
+
+bool ParallelExplorer::over_budget(Worker& w) {
+  // Same amortization as the serial engine: one clock/callback probe per 64
+  // exploration steps, per worker.
+  if (options_.max_seconds <= 0 && !options_.interrupted) return false;
+  if ((++w.probe & 63u) != 0) return false;
+  if (options_.max_seconds > 0 && timer_.seconds() > options_.max_seconds) {
+    return true;
+  }
+  return options_.interrupted && options_.interrupted();
+}
+
+void ParallelExplorer::request_stop_truncated() {
+  truncated_.store(true, std::memory_order_relaxed);
+  stop_.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> g(mu_);
+  cv_.notify_all();
+}
+
+void ParallelExplorer::push_event(Worker& w, const ActionFootprint& ev) {
+  const std::size_t n = w.events.size();
+  std::vector<bool> row(n, false);
+  w.direct_dep.assign(n, false);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (mcapi::dependent(w.events[k], ev, mode_)) {
+      w.direct_dep[k] = true;
+      row[k] = true;
+      const std::vector<bool>& below = w.hb[k];
+      for (std::size_t l = 0; l < below.size(); ++l) {
+        if (below[l]) row[l] = true;
+      }
+    }
+  }
+  w.events.push_back(ev);
+  w.hb.push_back(std::move(row));
+}
+
+bool ParallelExplorer::count_feasible(Worker& w, std::size_t k,
+                                      const std::vector<ActionFootprint>& v) {
+  w.chan_len.clear();
+  auto chan = [&](mcapi::ChannelId c) -> std::ptrdiff_t& {
+    for (auto& [id, len] : w.chan_len) {
+      if (id == c) return len;
+    }
+    w.chan_len.emplace_back(c,
+                            static_cast<std::ptrdiff_t>(w.sys.transit_size(c)));
+    return w.chan_len.back().second;
+  };
+  w.ep_len.assign(program_.num_endpoints(), 0);
+  for (std::size_t e = 0; e < w.ep_len.size(); ++e) {
+    w.ep_len[e] = static_cast<std::ptrdiff_t>(
+        w.sys.queue_size(static_cast<mcapi::EndpointRef>(e)));
+  }
+  for (std::size_t j = w.events.size(); j-- > k;) {
+    const ActionFootprint& e = w.events[j];
+    if (e.action.kind == Action::Kind::kDeliver) {
+      ++chan(e.channel);
+      --w.ep_len[e.channel.dst];
+    } else if (e.op == OpKind::kSend) {
+      --chan(e.channel);
+    } else if (e.op == OpKind::kRecv) {
+      ++w.ep_len[e.endpoint];
+    }
+  }
+  for (const ActionFootprint& e : v) {
+    if (e.action.kind == Action::Kind::kDeliver) {
+      std::ptrdiff_t& len = chan(e.channel);
+      if (len <= 0) return false;
+      --len;
+      ++w.ep_len[e.channel.dst];
+    } else if (e.op == OpKind::kSend) {
+      ++chan(e.channel);
+    } else if (e.op == OpKind::kRecv) {
+      if (w.ep_len[e.endpoint] <= 0) return false;
+      --w.ep_len[e.endpoint];
+    }
+  }
+  return true;
+}
+
+std::size_t ParallelExplorer::insert_into_node(Node* f, std::uint32_t min_branch,
+                                               std::vector<ActionFootprint> w_) {
+  // The serial engine's insert walks frame f's own wakeup tree. In the
+  // live shared tree a matched branch may already be executed; the graft
+  // then lands where the serial peel would have put it — the child node's
+  // branch list — preserving the serial lineage of the grafted trace.
+  // Below the top frame only scheduled-origin branches are chain
+  // structure: a matched initial-pick sibling means the sequence routes
+  // through an exploration that re-derives everything it needs itself
+  // (serial's walk consumes the pick's event and drops the rest at its
+  // empty-chain leaf), and a node with no scheduled-origin branches is
+  // the serial chain's leaf (leaf ⊑ w: drop).
+  Node* node = f;
+  std::uint32_t start = min_branch;
+  bool deeper = false;
+  while (true) {
+    if (w_.empty()) return 0;     // an explored/scheduled path covers w
+    if (node->maximal) return 0;  // executed leaf ⊑ w
+    bool descended = false;
+    bool has_scheduled = false;
+    for (std::uint32_t i = start; i < node->branches.size(); ++i) {
+      Branch& c = node->branches[i];
+      if (!c.pick) has_scheduled = true;
+      const std::size_t j = weak_initial_pos(c.ev.action, w_, mode_);
+      if (j == kNpos) continue;
+      if (c.pick) return 0;
+      w_.erase(w_.begin() + static_cast<std::ptrdiff_t>(j));
+      if (c.child != nullptr) {
+        node = c.child.get();
+        start = 0;
+        deeper = true;
+        descended = true;
+        break;
+      }
+      if (w_.empty()) return 0;
+      if (c.subtree.empty()) return 0;  // scheduled leaf ⊑ w
+      return c.subtree.insert(std::move(w_), mode_);
+    }
+    if (descended) continue;
+    if (deeper) {
+      if (!has_scheduled) return 0;  // serial chain leaf ⊑ w
+      // A deep graft lands rightmost at a LIVE frame; unlike serial's
+      // pre-execution chains this node already has a sleep set, and a
+      // sequence it covers is explored elsewhere.
+      for (const ActionFootprint& q : node->inherited_sleep) {
+        if (weak_initial_pos(q.action, w_, mode_) != kNpos) return 0;
+      }
+    }
+    // No weak initial among the live branches: fresh rightmost branch,
+    // the first event heading it and the remainder as its scheduled chain.
+    Branch nb;
+    nb.ev = std::move(w_.front());
+    std::size_t added = 1;
+    if (w_.size() > 1) {
+      std::vector<ActionFootprint> rest(std::make_move_iterator(w_.begin() + 1),
+                                        std::make_move_iterator(w_.end()));
+      added += nb.subtree.insert(std::move(rest), mode_);
+    }
+    node->branches.push_back(std::move(nb));
+    work_.push_back({node, static_cast<std::uint32_t>(node->branches.size() - 1)});
+    ++pending_;
+    cv_.notify_one();
+    return added;
+  }
+}
+
+void ParallelExplorer::scan_races(Worker& w, const ActionFootprint& ev) {
+  // `ev` is w.events.back() (already pushed, hb row built); n is its index.
+  if (ev.internal) return;  // internal steps race with nothing
+  const std::size_t n = w.events.size() - 1;
+  std::size_t rewound = w.events.size();
+  std::vector<ActionFootprint> v;
+  for (std::size_t k = n; k-- > 0;) {
+    const ActionFootprint& ek = w.events[k];
+    if (ek.internal) continue;
+    if (!w.direct_dep[k]) continue;  // independent or ordered transitively
+    if (ek.action == ev.action) continue;  // program order, not a race
+    bool adjacent = true;  // no event happens-between ek and ev
+    for (std::size_t m = k + 1; m < n && adjacent; ++m) {
+      if (w.hb[m][k] && w.hb[n][m]) adjacent = false;
+    }
+    if (!adjacent) continue;
+
+    // Candidate reversal: everything after ek not causally behind it,
+    // then the racing process itself.
+    v.clear();
+    v.reserve(n - k);
+    for (std::size_t j = k + 1; j < n; ++j) {
+      if (!w.hb[j][k]) v.push_back(w.events[j]);
+    }
+    v.push_back(ev);
+
+    // Sleep coverage at the target frame: the frame's inherited sleep plus
+    // the non-internal first actions of branches ordered before this
+    // worker's own branch there (the eager ordered sleep set — identical
+    // content to the serial engine's completed-sibling sleep).
+    Node* f = w.path[k];
+    const std::uint32_t anc = w.path[k + 1]->parent_branch;
+    bool covered = false;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      for (const ActionFootprint& q : f->inherited_sleep) {
+        if (weak_initial_pos(q.action, v, mode_) != kNpos) {
+          covered = true;
+          break;
+        }
+      }
+      for (std::uint32_t i = 0; !covered && i < anc; ++i) {
+        const Branch& sib = f->branches[i];
+        if (sib.ev.internal) continue;  // internal arrivals never sleep
+        if (weak_initial_pos(sib.ev.action, v, mode_) != kNpos) covered = true;
+      }
+    }
+    if (covered) continue;
+
+    // Reversibility check against the real semantics, on this worker's own
+    // live System (see run_optimal for the rationale and the countable /
+    // deliver-pair fast paths).
+    const bool deliver_pair = mode_ == mcapi::DeliveryMode::kArbitraryDelay &&
+                              ek.action.kind == Action::Kind::kDeliver &&
+                              ev.action.kind == Action::Kind::kDeliver;
+    if (!deliver_pair) {
+      if (countable_) {
+        if (!count_feasible(w, k, v)) continue;
+      } else {
+        w.sys.rollback(k);
+        rewound = k;
+        bool feasible = true;
+        for (const ActionFootprint& e : v) {
+          if (w.sys.has_violation()) break;
+          if (!w.sys.action_enabled(e.action)) {
+            feasible = false;
+            break;
+          }
+          w.sys.apply(e.action);
+        }
+        w.sys.rollback(k);
+        if (!feasible) continue;
+      }
+    }
+    ++w.stats.races_detected;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      w.stats.wakeup_nodes += insert_into_node(f, anc + 1, std::move(v));
+    }
+    v.clear();
+  }
+  // Replay the executed prefix the simulations rewound.
+  for (std::size_t j = rewound; j < w.events.size(); ++j) {
+    w.sys.apply(w.events[j].action);
+  }
+}
+
+Node* ParallelExplorer::execute_branch(Worker& w, Node* node, std::uint32_t bi,
+                                       bool& abort) {
+  if (stop_.load(std::memory_order_relaxed)) {
+    abort = true;
+    return nullptr;
+  }
+  if (transitions_.load(std::memory_order_relaxed) >= options_.max_transitions ||
+      over_budget(w)) {
+    request_stop_truncated();
+    abort = true;
+    return nullptr;
+  }
+
+  // Snapshot this branch and its ordered-before siblings. Branch order is
+  // append-only, so the sibling prefix is frozen; later concurrent inserts
+  // only ever land at indices > bi.
+  ActionFootprint claimed;
+  std::vector<Action> before;  // non-internal earlier sibling first-actions
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    Branch& b = node->branches[bi];
+    claimed = b.ev;
+    before.reserve(bi);
+    for (std::uint32_t i = 0; i < bi; ++i) {
+      if (!node->branches[i].ev.internal) {
+        before.push_back(node->branches[i].ev.action);
+      }
+    }
+  }
+
+  const Action action = claimed.action;
+  bool asleep = false;
+  for (const ActionFootprint& q : node->inherited_sleep) {
+    if (q.action == action) {
+      asleep = true;
+      break;
+    }
+  }
+  for (const Action& a : before) {
+    if (a == action) {
+      asleep = true;
+      break;
+    }
+  }
+  if (asleep || !w.sys.action_enabled(action)) {
+    // A raced duplicate: a concurrent claim committed to a linearization
+    // that makes this scheduled branch redundant before it ran. The sleep
+    // set kills it here, before it contributes an execution, so the trace
+    // counters stay serial-exact; only parallel_duplicates records it.
+    ++w.stats.parallel_duplicates;
+    std::lock_guard<std::mutex> g(mu_);
+    node->branches[bi].state = BranchState::kDone;
+    return nullptr;
+  }
+
+  // Child sleep set, computed against the pre-step state: inherited sleep
+  // plus the earlier siblings' footprints (recomputed here — same state,
+  // same values the serial engine stored on completion), filtered by
+  // dependence on the arriving event.
+  const ActionFootprint fresh = w.sys.footprint(action);
+  std::vector<ActionFootprint> child_sleep;
+  if (fresh.internal) {
+    child_sleep = node->inherited_sleep;
+    for (const Action& a : before) child_sleep.push_back(w.sys.footprint(a));
+  } else {
+    for (const ActionFootprint& q : node->inherited_sleep) {
+      if (!mcapi::dependent(fresh, q, mode_)) child_sleep.push_back(q);
+    }
+    for (const Action& a : before) {
+      const ActionFootprint q = w.sys.footprint(a);
+      if (!mcapi::dependent(fresh, q, mode_)) child_sleep.push_back(q);
+    }
+  }
+
+  // The max_transitions budget counts every fresh apply (honest work
+  // bound); stats.transitions is charged at path retirement instead, so
+  // prefixes touched only by raced duplicates never inflate it.
+  w.sys.apply(fresh.action);
+  transitions_.fetch_add(1, std::memory_order_relaxed);
+  push_event(w, fresh);
+
+  if (w.sys.has_violation()) {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      // The violating edge has no child Node yet: charge it (+1) together
+      // with the uncounted prefix.
+      w.stats.transitions += retire_path(node) + 1;
+    }
+    ++w.stats.executions;
+    {
+      std::lock_guard<std::mutex> g(result_mu_);
+      if (!result_->violation_found) {
+        result_->violation_found = true;
+        result_->violation = w.sys.violation();
+        result_->counterexample = actions_of(w.events);
+      }
+    }
+    stop_.store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> g(mu_);
+    cv_.notify_all();
+    abort = true;
+    return nullptr;
+  }
+
+  w.sys.enabled(w.enabled);
+  const bool maximal = w.enabled.empty();
+
+  // Initial pick for a frame with nothing scheduled: an internal step as a
+  // singleton ample set, else the first non-sleeping enabled action.
+  const Action* pick = nullptr;
+  if (!maximal) {
+    for (const Action& a : w.enabled) {
+      if (is_internal_step(w.sys, a)) {
+        pick = &a;
+        break;
+      }
+    }
+    if (pick == nullptr) {
+      for (const Action& a : w.enabled) {
+        bool in_sleep = false;
+        for (const ActionFootprint& q : child_sleep) {
+          if (q.action == a) {
+            in_sleep = true;
+            break;
+          }
+        }
+        if (!in_sleep) {
+          pick = &a;
+          break;
+        }
+      }
+    }
+  }
+  std::vector<ActionFootprint> pick_fp;
+  if (pick != nullptr) pick_fp.push_back(w.sys.footprint(*pick));
+
+  // Create the child frame and atomically re-route the branch's scheduled
+  // subtree into it: grafts before this instant land in b.subtree and are
+  // peeled here; grafts after it descend through b.child.
+  auto child = std::make_unique<Node>();
+  Node* cp = child.get();
+  cp->parent = node;
+  cp->parent_branch = bi;
+  cp->depth = node->depth + 1;
+  cp->arrival = fresh;
+  cp->inherited_sleep = std::move(child_sleep);
+  cp->maximal = maximal;
+  bool sleep_blocked = false;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    Branch& b = node->branches[bi];
+    if (!maximal) {
+      WakeupTree scheduled = std::move(b.subtree);
+      while (!scheduled.empty()) {
+        auto [ev2, sub2] = scheduled.pop_first();
+        Branch nb;
+        nb.ev = std::move(ev2);
+        nb.subtree = std::move(sub2);
+        cp->branches.push_back(std::move(nb));
+      }
+      if (cp->branches.empty() && !pick_fp.empty()) {
+        Branch nb;
+        nb.ev = std::move(pick_fp.front());
+        nb.pick = true;
+        cp->branches.push_back(std::move(nb));
+      }
+      sleep_blocked = cp->branches.empty();
+      std::size_t added = 0;
+      for (std::uint32_t i = 0; i < cp->branches.size(); ++i) {
+        work_.push_back({cp, i});
+        ++pending_;
+        ++added;
+      }
+      if (added > 1) cv_.notify_all();  // the worker itself claims one
+    }
+    b.child = std::move(child);
+    if (maximal || sleep_blocked) b.state = BranchState::kDone;
+  }
+
+  // Race scan for the fresh event — once per tree edge, by its first (and
+  // only) executor; prefix replays skip it.
+  scan_races(w, fresh);
+
+  if (maximal || sleep_blocked) {
+    if (maximal) {
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        w.stats.transitions += retire_path(cp);
+      }
+      ++w.stats.executions;
+      if (w.sys.all_halted()) {
+        ++w.stats.terminal_states;
+      } else {
+        std::lock_guard<std::mutex> g(result_mu_);
+        result_->deadlock_found = true;
+        if (result_->deadlock_schedule.empty()) {
+          result_->deadlock_schedule = actions_of(w.events);
+        }
+      }
+    } else {
+      // Every enabled action asleep: the trace this path was heading for
+      // is (or will be) explored via another linearization — a raced
+      // duplicate, not an execution. Its uncounted edges stay unretired.
+      ++w.stats.parallel_duplicates;
+    }
+    w.sys.undo();
+    w.events.pop_back();
+    w.hb.pop_back();
+    return nullptr;
+  }
+
+  w.path.push_back(cp);
+  return cp;
+}
+
+void ParallelExplorer::explore(Worker& w, Node* entry, std::uint32_t entry_branch) {
+  Node* node = entry;
+  std::uint32_t bi = entry_branch;
+  while (true) {
+    bool abort = false;
+    Node* child = execute_branch(w, node, bi, abort);
+    if (abort) return;
+    if (child != nullptr) node = child;
+    // Claim the next pending branch at the current frame, ascending (and
+    // marking finished branches done) until one is found or the claimed
+    // subtree is exhausted.
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      if (stop_.load(std::memory_order_relaxed)) return;
+      std::uint32_t next = kNoBranch;
+      for (std::uint32_t i = 0; i < node->branches.size(); ++i) {
+        if (node->branches[i].state == BranchState::kPending) {
+          node->branches[i].state = BranchState::kClaimed;
+          --pending_;
+          next = i;
+          break;
+        }
+      }
+      if (next != kNoBranch) {
+        bi = next;
+        break;  // execute it (outer loop)
+      }
+      if (node == entry) return;  // claimed subtree fully explored
+      Node* parent = node->parent;
+      parent->branches[node->parent_branch].state = BranchState::kDone;
+      w.sys.undo();
+      w.events.pop_back();
+      w.hb.pop_back();
+      w.path.pop_back();
+      node = parent;
+    }
+  }
+}
+
+void ParallelExplorer::navigate(Worker& w, Node* target) {
+  w.chain.clear();
+  for (Node* n = target; n != nullptr; n = n->parent) w.chain.push_back(n);
+  std::reverse(w.chain.begin(), w.chain.end());
+  std::size_t common = 0;
+  while (common < w.path.size() && common < w.chain.size() &&
+         w.path[common] == w.chain[common]) {
+    ++common;
+  }
+  MCSYM_ASSERT(common >= 1);  // the root is always shared
+  while (w.path.size() > common) {
+    w.sys.undo();
+    w.events.pop_back();
+    w.hb.pop_back();
+    w.path.pop_back();
+  }
+  for (std::size_t d = common; d < w.chain.size(); ++d) {
+    Node* n = w.chain[d];
+    // The stored arrival footprint was computed at this exact state by the
+    // first executor; replaying rebuilds events/hb but never re-scans.
+    w.sys.apply(n->arrival.action);
+    push_event(w, n->arrival);
+    w.path.push_back(n);
+  }
+}
+
+void ParallelExplorer::worker_main() {
+  Worker w(program_, mode_);
+  w.sys.enable_undo_log();
+  w.path.push_back(&root_);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (done_ || stop_.load(std::memory_order_relaxed)) break;
+    WorkItem item;
+    bool have = false;
+    while (!work_.empty()) {
+      item = work_.back();
+      work_.pop_back();
+      if (item.node->branches[item.branch].state != BranchState::kPending) {
+        continue;  // stale entry: claimed via a worker's local descent
+      }
+      item.node->branches[item.branch].state = BranchState::kClaimed;
+      --pending_;
+      have = true;
+      break;
+    }
+    if (have) {
+      lock.unlock();
+      navigate(w, item.node);
+      explore(w, item.node, item.branch);
+      lock.lock();
+      continue;
+    }
+    MCSYM_ASSERT(pending_ == 0);  // every pending branch has a work_ entry
+    if (busy_ == 1) {
+      done_ = true;
+      cv_.notify_all();
+      break;
+    }
+    --busy_;
+    cv_.wait(lock);
+    ++busy_;
+  }
+  lock.unlock();
+
+  std::lock_guard<std::mutex> g(result_mu_);
+  DporStats& st = result_->stats;
+  st.transitions += w.stats.transitions;
+  st.executions += w.stats.executions;
+  st.terminal_states += w.stats.terminal_states;
+  st.sleep_prunes += w.stats.sleep_prunes;
+  st.races_detected += w.stats.races_detected;
+  st.wakeup_nodes += w.stats.wakeup_nodes;
+  st.redundant_explorations += w.stats.redundant_explorations;
+  st.parallel_duplicates += w.stats.parallel_duplicates;
+}
+
+void ParallelExplorer::run(DporResult& result) {
+  result_ = &result;
+  DporStats& st = result.stats;
+
+  // Root arrival checks, mirroring the serial loop's first iteration.
+  System sys0(program_, mode_);
+  if (sys0.has_violation()) {
+    result.violation_found = true;
+    result.violation = sys0.violation();
+    ++st.executions;
+    return;
+  }
+  std::vector<Action> enabled;
+  sys0.enabled(enabled);
+  if (enabled.empty()) {
+    ++st.executions;
+    if (sys0.all_halted()) {
+      ++st.terminal_states;
+    } else {
+      result.deadlock_found = true;  // schedule stays empty: initial state
+    }
+    return;
+  }
+  const Action* pick = nullptr;
+  for (const Action& a : enabled) {
+    if (is_internal_step(sys0, a)) {
+      pick = &a;
+      break;
+    }
+  }
+  if (pick == nullptr) pick = &enabled.front();
+  root_.counted = true;  // the root has no arrival edge to charge
+  Branch seed;
+  seed.ev = sys0.footprint(*pick);
+  seed.pick = true;
+  root_.branches.push_back(std::move(seed));
+  work_.push_back({&root_, 0});
+  pending_ = 1;
+
+  const std::uint32_t n = options_.workers;
+  busy_ = n;
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    threads.emplace_back([this] { worker_main(); });
+  }
+  for (std::thread& t : threads) t.join();
+  if (truncated_.load(std::memory_order_relaxed)) result.truncated = true;
+}
+
+}  // namespace
+
+void DporChecker::run_parallel(DporResult& result,
+                               const support::Stopwatch& timer) {
+  ParallelExplorer explorer(program_, options_, timer);
+  explorer.run(result);
+}
+
+}  // namespace mcsym::check

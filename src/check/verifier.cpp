@@ -1,8 +1,11 @@
 #include "check/verifier.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "match/generators.hpp"
@@ -42,21 +45,29 @@ constexpr double kBiases[] = {1.0, 0.5, 2.0};
 
 /// Shared state of one verify() call: the joint wall clock, the report
 /// under construction, and the progress/cancellation plumbing the engines'
-/// `interrupted` hooks route through.
+/// `interrupted` hooks route through. With request.workers > 1 several
+/// engine threads (and the DPOR workers inside them) probe fire() and the
+/// wall clock concurrently, so cancellation is an atomic latch and the
+/// callback itself is serialized; the report is only ever mutated by the
+/// thread that owns the current stage (engine rows are pushed in a fixed
+/// order after joins, never from inside concurrent engines).
 struct Ctx {
   const mcapi::Program& program;
   const VerifyRequest& request;
   support::Stopwatch timer;
   VerifyReport report;
-  bool cancel_requested = false;
+  std::atomic<bool> cancel_requested{false};
+  std::mutex progress_mu;  // serializes the callback + the cancelled flag
 
   /// Fires the progress callback (when set). Returns false — and latches
-  /// cancellation — once the callback asks to stop.
+  /// cancellation — once the callback asks to stop. Thread-safe.
   bool fire(Engine engine, const char* stage) {
-    if (cancel_requested) return false;
+    if (cancel_requested.load(std::memory_order_relaxed)) return false;
     if (!request.progress) return true;
+    std::lock_guard<std::mutex> g(progress_mu);
+    if (cancel_requested.load(std::memory_order_relaxed)) return false;
     if (!request.progress(Progress{engine, stage, timer.seconds()})) {
-      cancel_requested = true;
+      cancel_requested.store(true, std::memory_order_relaxed);
       report.cancelled = true;
       return false;
     }
@@ -79,7 +90,9 @@ struct Ctx {
   }
 };
 
-ExplicitResult run_explicit(Ctx& ctx) {
+/// Runs the explicit engine and fills `run` without touching ctx.report —
+/// safe to call from a portfolio engine thread; the caller pushes the row.
+ExplicitResult run_explicit_raw(Ctx& ctx, EngineRun& run) {
   ExplicitOptions eo;
   eo.mode = ctx.request.mode;
   eo.max_states = ctx.request.budget.max_states;
@@ -90,7 +103,6 @@ ExplicitResult run_explicit(Ctx& ctx) {
   ExplicitChecker checker(ctx.program, eo);
   ExplicitResult result = checker.run();
 
-  EngineRun run;
   run.engine = Engine::kExplicit;
   run.truncated = result.truncated;
   run.verdict = verdict_from(result.violation_found, result.deadlock_found,
@@ -99,11 +111,19 @@ ExplicitResult run_explicit(Ctx& ctx) {
   run.counters = {{"states_expanded", result.states_expanded},
                   {"transitions", result.transitions},
                   {"terminal_states", result.terminal_states}};
+  return result;
+}
+
+ExplicitResult run_explicit(Ctx& ctx) {
+  EngineRun run;
+  ExplicitResult result = run_explicit_raw(ctx, run);
   ctx.report.engines.push_back(std::move(run));
   return result;
 }
 
-DporResult run_dpor(Ctx& ctx, DporMode mode) {
+/// Runs one DPOR engine and fills `run` without touching ctx.report —
+/// safe to call from a portfolio engine thread; the caller pushes the row.
+DporResult run_dpor_raw(Ctx& ctx, DporMode mode, EngineRun& run) {
   const Engine engine = mode == DporMode::kOptimal ? Engine::kDporOptimal
                                                    : Engine::kDporSleepSet;
   DporOptions dopts;
@@ -111,13 +131,13 @@ DporResult run_dpor(Ctx& ctx, DporMode mode) {
   dopts.algorithm = mode;
   dopts.max_transitions = ctx.request.budget.max_transitions;
   dopts.max_seconds = ctx.engine_seconds();
+  dopts.workers = ctx.request.workers;
   if (ctx.request.progress) {
     dopts.interrupted = [&ctx, engine] { return !ctx.fire(engine, "explore"); };
   }
   DporChecker checker(ctx.program, dopts);
   DporResult result = checker.run();
 
-  EngineRun run;
   run.engine = engine;
   run.truncated = result.truncated;
   run.verdict = verdict_from(result.violation_found, result.deadlock_found,
@@ -130,6 +150,18 @@ DporResult run_dpor(Ctx& ctx, DporMode mode) {
                   {"wakeup_nodes", result.stats.wakeup_nodes},
                   {"sleep_prunes", result.stats.sleep_prunes},
                   {"redundant_explorations", result.stats.redundant_explorations}};
+  // Surfaced only for threaded requests: the serial engine cannot produce
+  // duplicates, and the workers == 1 JSON report is golden-pinned.
+  if (ctx.request.workers > 1) {
+    run.counters.emplace_back("parallel_duplicates",
+                              result.stats.parallel_duplicates);
+  }
+  return result;
+}
+
+DporResult run_dpor(Ctx& ctx, DporMode mode) {
+  EngineRun run;
+  DporResult result = run_dpor_raw(ctx, mode, run);
   ctx.report.engines.push_back(std::move(run));
   return result;
 }
@@ -152,13 +184,12 @@ void replay_deadlock_schedule(Ctx& ctx, mcapi::System& workspace,
   }
 }
 
-/// Runs one DPOR configuration inside the portfolio and cross-checks its
-/// verdicts against the explicit ground truth (the differential harness's
-/// agreement checks, verbatim).
-void run_dpor_checked(Ctx& ctx, DporMode mode, const ExplicitResult& truth,
-                      bool observers, mcapi::System& workspace,
-                      PortfolioStats& ps) {
-  const DporResult dr = run_dpor(ctx, mode);
+/// Cross-checks a finished DPOR run's verdicts against the explicit ground
+/// truth (the differential harness's agreement checks, verbatim). Serial:
+/// mutates the report and replays on the shared workspace.
+void check_dpor_result(Ctx& ctx, DporMode mode, const DporResult& dr,
+                       const ExplicitResult& truth, bool observers,
+                       mcapi::System& workspace, PortfolioStats& ps) {
   const char* name = mode == DporMode::kOptimal ? "optimal" : "sleep-set";
   if (dr.truncated) {
     ++ps.dpor_skipped;
@@ -197,6 +228,15 @@ void run_dpor_checked(Ctx& ctx, DporMode mode, const ExplicitResult& truth,
     replay_deadlock_schedule(ctx, workspace, dr.deadlock_schedule, who.c_str(),
                              ps);
   }
+}
+
+/// Runs one DPOR configuration inside the serial portfolio and cross-checks
+/// it against the explicit ground truth.
+void run_dpor_checked(Ctx& ctx, DporMode mode, const ExplicitResult& truth,
+                      bool observers, mcapi::System& workspace,
+                      PortfolioStats& ps) {
+  const DporResult dr = run_dpor(ctx, mode);
+  check_dpor_result(ctx, mode, dr, truth, observers, workspace, ps);
 }
 
 /// The symbolic engine: record `request.traces` traces, SMT-check each,
@@ -251,7 +291,8 @@ void run_symbolic(Ctx& ctx, const ExplicitResult* truth, PortfolioStats& ps,
   bool witness_is_concrete = false;
 
   for (std::uint32_t t = 0; t < req.traces; ++t) {
-    if (ctx.wall_exhausted() || ctx.cancel_requested ||
+    if (ctx.wall_exhausted() ||
+        ctx.cancel_requested.load(std::memory_order_relaxed) ||
         !ctx.fire(Engine::kSymbolic, "record-trace")) {
       truncated = true;
       break;
@@ -477,13 +518,50 @@ void run_symbolic(Ctx& ctx, const ExplicitResult* truth, PortfolioStats& ps,
 
 /// Portfolio: explicit ground truth first, then both DPOR modes and the
 /// symbolic per-trace pipeline, each cross-checked against it — the
-/// differential harness's agreement story behind one verdict.
+/// differential harness's agreement story behind one verdict. With
+/// request.workers > 1 the explicit and DPOR engines run concurrently
+/// (each probing the same joint wall clock and cancellation latch); every
+/// cross-check and the symbolic stage run serially after the join, so the
+/// report is never mutated from two threads. Engine rows keep the serial
+/// order (explicit, dpor, dpor-sleepset, symbolic) regardless of which
+/// engine finished first — except that a truncated explicit search no
+/// longer suppresses the DPOR rows, which already ran.
 void run_portfolio(Ctx& ctx) {
   VerifyReport& report = ctx.report;
   report.portfolio = PortfolioStats{};
   PortfolioStats& ps = *report.portfolio;
+  const bool with_sleepset = ctx.request.check_dpor_modes;
+  const bool concurrent = ctx.request.workers > 1;
 
-  const ExplicitResult truth = run_explicit(ctx);
+  ExplicitResult truth;
+  std::optional<DporResult> optimal;
+  std::optional<DporResult> sleepset;
+  if (concurrent) {
+    EngineRun truth_run;
+    EngineRun optimal_run;
+    EngineRun sleepset_run;
+    optimal.emplace();
+    std::thread explicit_thread(
+        [&] { truth = run_explicit_raw(ctx, truth_run); });
+    std::thread optimal_thread([&] {
+      *optimal = run_dpor_raw(ctx, DporMode::kOptimal, optimal_run);
+    });
+    std::thread sleepset_thread;
+    if (with_sleepset) {
+      sleepset.emplace();
+      sleepset_thread = std::thread([&] {
+        *sleepset = run_dpor_raw(ctx, DporMode::kSleepSet, sleepset_run);
+      });
+    }
+    explicit_thread.join();
+    optimal_thread.join();
+    if (sleepset_thread.joinable()) sleepset_thread.join();
+    report.engines.push_back(std::move(truth_run));
+    report.engines.push_back(std::move(optimal_run));
+    if (with_sleepset) report.engines.push_back(std::move(sleepset_run));
+  } else {
+    truth = run_explicit(ctx);
+  }
   if (truth.truncated) {
     report.verdict = Verdict::kBudgetExhausted;
     return;
@@ -505,9 +583,19 @@ void run_portfolio(Ctx& ctx) {
   }
 
   const bool observers = has_observer_ops(ctx.program);
-  run_dpor_checked(ctx, DporMode::kOptimal, truth, observers, workspace, ps);
-  if (ctx.request.check_dpor_modes) {
-    run_dpor_checked(ctx, DporMode::kSleepSet, truth, observers, workspace, ps);
+  if (concurrent) {
+    check_dpor_result(ctx, DporMode::kOptimal, *optimal, truth, observers,
+                      workspace, ps);
+    if (with_sleepset) {
+      check_dpor_result(ctx, DporMode::kSleepSet, *sleepset, truth, observers,
+                        workspace, ps);
+    }
+  } else {
+    run_dpor_checked(ctx, DporMode::kOptimal, truth, observers, workspace, ps);
+    if (with_sleepset) {
+      run_dpor_checked(ctx, DporMode::kSleepSet, truth, observers, workspace,
+                       ps);
+    }
   }
 
   run_symbolic(ctx, &truth, ps, &workspace);
@@ -518,7 +606,7 @@ void run_portfolio(Ctx& ctx) {
 
   if (!report.disagreements.empty()) {
     report.verdict = Verdict::kUnknown;
-  } else if (ctx.cancel_requested) {
+  } else if (ctx.cancel_requested.load(std::memory_order_relaxed)) {
     report.verdict = Verdict::kBudgetExhausted;
   } else {
     report.verdict = verdict_from(truth.violation_found || symbolic_violation,
@@ -621,7 +709,7 @@ bool EnumerateReport::truncated_any() const {
 VerifyReport Verifier::verify(const mcapi::Program& program,
                               VerifyRequest request) {
   MCSYM_ASSERT_MSG(program.finalized(), "finalize the program before verifying");
-  Ctx ctx{program, request, {}, {}, false};
+  Ctx ctx{program, request};
   VerifyReport& report = ctx.report;
   report.engine = request.engine;
   report.program = &program;
@@ -663,7 +751,8 @@ VerifyReport Verifier::verify(const mcapi::Program& program,
       break;
   }
 
-  if (ctx.cancel_requested && report.verdict != Verdict::kViolation &&
+  if (ctx.cancel_requested.load(std::memory_order_relaxed) &&
+      report.verdict != Verdict::kViolation &&
       report.verdict != Verdict::kDeadlock && report.agreed()) {
     report.verdict = Verdict::kBudgetExhausted;
   }

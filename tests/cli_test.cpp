@@ -286,6 +286,28 @@ TEST(CliTest, VerifyJsonEmitsTheReportContract) {
   }
 }
 
+TEST(CliTest, VerifyWorkersFlagShardsTheEngines) {
+  // --workers 4 shards DPOR and runs the portfolio engines concurrently:
+  // same verdict and exit code as the serial run, and the JSON report grows
+  // the parallel_duplicates counter that only exists when workers > 1.
+  const CliResult r =
+      run_cli("verify " + figure1() + " --engine=portfolio --workers 4 --json");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("\"verdict\": \"violation\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"parallel_duplicates\""), std::string::npos);
+
+  // The sharded single-engine path agrees with the serial deadlock verdict.
+  const std::string stuck = testing::TempDir() + "/mcsym_stuck_workers.mcp";
+  {
+    std::ofstream out(stuck);
+    out << "thread t0\n  endpoint e0\n  recv e0 -> A\n";
+  }
+  const CliResult deadlock =
+      run_cli("verify " + stuck + " --engine=dpor --workers 4");
+  EXPECT_EQ(deadlock.exit_code, 1) << deadlock.output;
+  EXPECT_NE(deadlock.output.find("verdict: deadlock"), std::string::npos);
+}
+
 TEST(CliTest, SeedSelectsDifferentSchedules) {
   // Different seeds may record different traces, but verdicts must agree —
   // the encoding quantifies over all executions consistent with the trace.

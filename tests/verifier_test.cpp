@@ -5,6 +5,8 @@
 // bump "mcsym.verify/1" and update the goldens in the same commit.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 
 #include "check/verifier.hpp"
@@ -223,6 +225,106 @@ TEST(VerifierTest, PortfolioReproducesTheDifferentialAgreementChecks) {
     // Explicit + both DPOR modes each replayed their deadlock schedule.
     EXPECT_EQ(report.portfolio->deadlock_schedules_replayed, 3u);
   }
+}
+
+// --- Concurrent portfolio and sharded DPOR (workers > 1) -------------------------
+
+TEST(VerifierTest, ConcurrentPortfolioMatchesSerialVerdicts) {
+  // workers > 1 moves explicit + both DPOR engines onto their own threads
+  // under the shared budget. Verdicts, agreement, and the fixed engine-row
+  // order (explicit, DPOR optimal, DPOR sleep-set, symbolic) must all match
+  // the serial portfolio.
+  struct Case {
+    const char* name;
+    Program program;
+    Verdict verdict;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"safe", safe_handshake(), Verdict::kSafe});
+  cases.push_back({"violation", race_with_assert(), Verdict::kViolation});
+  cases.push_back({"deadlock", starved_receiver(), Verdict::kDeadlock});
+  for (Case& c : cases) {
+    VerifyRequest req;
+    req.engine = Engine::kPortfolio;
+    req.workers = 4;
+    req.traces = 4;
+    Verifier verifier;
+    const VerifyReport report = verifier.verify(c.program, req);
+    SCOPED_TRACE(c.name);
+    EXPECT_EQ(report.verdict, c.verdict);
+    EXPECT_TRUE(report.agreed())
+        << (report.disagreements.empty() ? "" : report.disagreements.front());
+    ASSERT_EQ(report.engines.size(), 4u);
+    EXPECT_EQ(report.engines[0].engine, Engine::kExplicit);
+    EXPECT_EQ(report.engines[1].engine, Engine::kDporOptimal);
+    EXPECT_EQ(report.engines[2].engine, Engine::kDporSleepSet);
+    EXPECT_EQ(report.engines[3].engine, Engine::kSymbolic);
+  }
+}
+
+TEST(VerifierTest, ConcurrentPortfolioCancelsPromptly) {
+  // The progress callback is fired from several engine threads at once; a
+  // false return must latch cancellation for the whole fleet and degrade
+  // the verdict to budget-exhausted, never hang or crash.
+  const Program p = workloads::message_race(4, 2);
+  VerifyRequest req;
+  req.engine = Engine::kPortfolio;
+  req.workers = 4;
+  std::atomic<int> fired{0};
+  req.progress = [&fired](const Progress& progress) {
+    EXPECT_NE(progress.stage, nullptr);
+    fired.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  };
+  Verifier verifier;
+  const VerifyReport report = verifier.verify(p, req);
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_EQ(report.verdict, Verdict::kBudgetExhausted);
+  EXPECT_GT(fired.load(), 0);
+}
+
+TEST(VerifierTest, ConcurrentPortfolioSharesTheWallClock) {
+  // One joint wall clock: an exhausted budget truncates every concurrent
+  // engine, and the report still carries one row per engine with its
+  // merged partial counters.
+  const Program p = workloads::message_race(4, 2);
+  VerifyRequest req;
+  req.engine = Engine::kPortfolio;
+  req.workers = 4;
+  req.budget.max_seconds = 1e-9;
+  Verifier verifier;
+  const VerifyReport report = verifier.verify(p, req);
+  EXPECT_EQ(report.verdict, Verdict::kBudgetExhausted);
+  ASSERT_EQ(report.engines.size(), 3u);  // symbolic never starts
+  EXPECT_EQ(report.engines[0].engine, Engine::kExplicit);
+  EXPECT_EQ(report.engines[1].engine, Engine::kDporOptimal);
+  EXPECT_EQ(report.engines[2].engine, Engine::kDporSleepSet);
+  for (const EngineRun& run : report.engines) {
+    EXPECT_TRUE(run.truncated) << engine_name(run.engine);
+    EXPECT_FALSE(run.counters.empty()) << engine_name(run.engine);
+  }
+}
+
+TEST(VerifierTest, ShardedDporEngineReportsThroughTheFacade) {
+  // --workers on the single DPOR engine: the sharded run keeps the serial
+  // trace counters (90 traces for message_race(3,2)) and the report grows
+  // the parallel_duplicates counter that only exists when workers > 1.
+  const Program p = workloads::message_race(3, 2);
+  VerifyRequest req;
+  req.engine = Engine::kDporOptimal;
+  req.workers = 4;
+  Verifier verifier;
+  const VerifyReport report = verifier.verify(p, req);
+  EXPECT_EQ(report.verdict, Verdict::kSafe);
+  ASSERT_EQ(report.engines.size(), 1u);
+  std::uint64_t executions = 0;
+  bool saw_duplicates = false;
+  for (const auto& [name, value] : report.engines.front().counters) {
+    if (name == "executions") executions = value;
+    if (name == "parallel_duplicates") saw_duplicates = true;
+  }
+  EXPECT_EQ(executions, 90u);
+  EXPECT_TRUE(saw_duplicates);
 }
 
 TEST(VerifierTest, ContinuePastViolationReportsEveryViolation) {

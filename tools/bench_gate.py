@@ -3,13 +3,26 @@
 
 Usage:
     bench_gate.py OLD.json NEW.json [--benchmark NAME ...] [--max-ratio R]
+                  [--speedup FAST:BASE:MIN ...]
 
-Fails (exit 1) when any named benchmark's cpu_time in NEW exceeds
-max-ratio x its cpu_time in OLD. Benchmarks named but missing from OLD are
-reported and skipped (first run after a rename must not trip the gate);
-benchmarks missing from NEW are a hard failure (the series silently
-disappeared). Default benchmark: BM_Dpor_MessageRace/4, the headline
-instance of the checkpoint/undo execution core.
+Fails (exit 1) when any named benchmark's time in NEW exceeds max-ratio x
+its time in OLD. Benchmarks named but missing from OLD are reported and
+skipped (first run after a rename must not trip the gate); benchmarks
+missing from NEW are a hard failure (the series silently disappeared).
+Default benchmark: BM_Dpor_MessageRace/4, the headline instance of the
+checkpoint/undo execution core.
+
+Times are cpu_time, except for benchmarks registered with UseRealTime
+(their JSON names end in "/real_time"): those gate on real_time, the only
+meaningful metric for a multi-threaded run whose cpu_time sums the whole
+worker fleet.
+
+--speedup FAST:BASE:MIN (repeatable) is an intra-run ratio gate on
+NEW.json alone: fail unless time(BASE) / time(FAST) >= MIN. The nightly
+uses it to pin the parallel DPOR scaling floor, e.g.
+BM_Dpor_Parallel_MessageRace/4/4/real_time (4 workers) against .../4/1/
+real_time (serial) at 2.5x. Either side missing from NEW is a hard
+failure.
 
 The nightly workflow feeds this with the previous run's bench-json
 artifact, turning the accumulating perf trajectory into an alarm instead
@@ -22,14 +35,20 @@ import sys
 
 
 def load_times(path):
-    """benchmark name -> cpu_time (ns), aggregates excluded."""
+    """benchmark name -> gated time (ns), aggregates excluded.
+
+    UseRealTime benchmarks (name suffix "/real_time") gate on real_time;
+    everything else on cpu_time.
+    """
     with open(path) as f:
         data = json.load(f)
     times = {}
     for bench in data.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
-        times[bench["name"]] = float(bench["cpu_time"])
+        name = bench["name"]
+        field = "real_time" if name.endswith("/real_time") else "cpu_time"
+        times[name] = float(bench[field])
     return times
 
 
@@ -47,10 +66,26 @@ def main():
         "--max-ratio",
         type=float,
         default=2.0,
-        help="fail when new cpu_time > max-ratio * old cpu_time (default 2.0)",
+        help="fail when new time > max-ratio * old time (default 2.0)",
+    )
+    parser.add_argument(
+        "--speedup",
+        action="append",
+        default=[],
+        metavar="FAST:BASE:MIN",
+        help="intra-run ratio gate on NEW.json: fail unless "
+        "time(BASE)/time(FAST) >= MIN (repeatable)",
     )
     args = parser.parse_args()
-    benchmarks = args.benchmark or ["BM_Dpor_MessageRace/4"]
+    # Speedup-only invocations (intra-NEW ratio gates) skip the default
+    # old-vs-new benchmark; naming none with no --speedup keeps the
+    # historical default.
+    if args.benchmark is not None:
+        benchmarks = args.benchmark
+    elif args.speedup:
+        benchmarks = []
+    else:
+        benchmarks = ["BM_Dpor_MessageRace/4"]
 
     old_times = load_times(args.old_json)
     new_times = load_times(args.new_json)
@@ -72,6 +107,28 @@ def main():
             f"({ratio:.2f}x, limit {args.max_ratio:.2f}x)"
         )
         failed |= ratio > args.max_ratio
+
+    for spec in args.speedup:
+        parts = spec.rsplit(":", 2)
+        if len(parts) != 3:
+            print(f"FAIL --speedup '{spec}': expected FAST:BASE:MIN")
+            failed = True
+            continue
+        fast, base, min_s = parts[0], parts[1], float(parts[2])
+        missing = [n for n in (fast, base) if n not in new_times]
+        if missing:
+            print(f"FAIL speedup {fast}: missing from {args.new_json}: "
+                  f"{', '.join(missing)}")
+            failed = True
+            continue
+        speedup = new_times[base] / new_times[fast] if new_times[fast] > 0 \
+            else float("inf")
+        verdict = "FAIL" if speedup < min_s else "ok"
+        print(
+            f"{verdict} speedup {fast} vs {base}: {speedup:.2f}x "
+            f"(floor {min_s:.2f}x)"
+        )
+        failed |= speedup < min_s
     return 1 if failed else 0
 
 

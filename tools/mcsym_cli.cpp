@@ -70,6 +70,8 @@ verify options:
   --max-transitions N  DPOR budget (transitions executed)
   --conflicts N        CDCL conflict budget per solver query (default off)
   --traces N           traces to record and check (symbolic/portfolio, default 1)
+  --workers N          exploration threads: shards DPOR and runs portfolio
+                       engines concurrently (default 1 = serial)
 
 common options:
   --seed N             scheduler seed for the recorded execution (default 1)
@@ -123,6 +125,7 @@ struct Options {
   std::uint64_t max_transitions = 0;  // 0 = facade default
   std::uint64_t conflicts = 0;
   std::uint32_t traces = 1;
+  std::uint32_t workers = 1;
 };
 
 int fail(const std::string& message) {
@@ -196,6 +199,11 @@ std::optional<Options> parse_args(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
       o.traces = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      o.workers = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (o.workers == 0) o.workers = 1;
     } else if (a == "-o") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
@@ -353,6 +361,7 @@ int cmd_verify(const Options& o) {
   req.trace_seed = o.seed;
   req.round_robin = o.round_robin;
   req.traces = o.traces;
+  req.workers = o.workers;
   req.symbolic = symbolic_options(o);
   req.properties = lp->properties;
 

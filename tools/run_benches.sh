@@ -19,6 +19,7 @@ benches=(
   bench_figure4
   bench_matchgen
   bench_nonblocking
+  bench_parallel_dpor
   bench_poll
   bench_solver
   bench_symbolic_vs_explicit
