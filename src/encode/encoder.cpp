@@ -454,27 +454,30 @@ void Encoder::build_delay_ignorant(Encoding& enc) {
   enc.p_delay = tt_.and_(delay);
 }
 
+TermId Encoder::property_term(const Property& p) {
+  auto operand = [&](const Operand& o) -> TermId {
+    if (!o.is_var) return tt_.int_const(o.k);
+    const support::Symbol sym =
+        const_cast<mcapi::Program&>(trace_.program()).interner().intern(o.var);
+    const TermId base = local_term(o.thread, sym);
+    return tt_.add_const(base, o.k);
+  };
+  const TermId a = operand(p.lhs);
+  const TermId b = operand(p.rhs);
+  switch (p.rel) {
+    case Rel::kLt: return tt_.lt(a, b);
+    case Rel::kLe: return tt_.le(a, b);
+    case Rel::kEq: return tt_.eq(a, b);
+    case Rel::kNe: return tt_.ne(a, b);
+    case Rel::kGe: return tt_.ge(a, b);
+    case Rel::kGt: return tt_.gt(a, b);
+  }
+  MCSYM_UNREACHABLE("bad relation");
+}
+
 void Encoder::build_properties(Encoding& enc, std::span<const Property> properties) {
   for (const Property& p : properties) {
-    auto operand = [&](const Operand& o) -> TermId {
-      if (!o.is_var) return tt_.int_const(o.k);
-      const support::Symbol sym =
-          const_cast<mcapi::Program&>(trace_.program()).interner().intern(o.var);
-      const TermId base = local_term(o.thread, sym);
-      return tt_.add_const(base, o.k);
-    };
-    const TermId a = operand(p.lhs);
-    const TermId b = operand(p.rhs);
-    TermId c = smt::kNoTerm;
-    switch (p.rel) {
-      case Rel::kLt: c = tt_.lt(a, b); break;
-      case Rel::kLe: c = tt_.le(a, b); break;
-      case Rel::kEq: c = tt_.eq(a, b); break;
-      case Rel::kNe: c = tt_.ne(a, b); break;
-      case Rel::kGe: c = tt_.ge(a, b); break;
-      case Rel::kGt: c = tt_.gt(a, b); break;
-    }
-    enc.prop_terms.emplace_back(p.label, c);
+    enc.prop_terms.emplace_back(p.label, property_term(p));
   }
   enc.stats.property_terms = enc.prop_terms.size();
   std::vector<TermId> conds;

@@ -123,6 +123,11 @@ class Encoder {
   /// PProp alongside the trace's assert events.
   Encoding encode(std::span<const Property> properties = {});
 
+  /// Term of one extra end-of-run property over the final SSA state. Only
+  /// valid after encode(); used by incremental sessions that keep PProp out
+  /// of the asserted formula and check properties via solver assumptions.
+  [[nodiscard]] smt::TermId property_term(const Property& p);
+
  private:
   smt::TermId expr_term(mcapi::ThreadRef t, const mcapi::ValueExpr& e);
   smt::TermId cond_term(mcapi::ThreadRef t, const mcapi::Cond& c);

@@ -96,8 +96,14 @@ Model Solver::snapshot_ints(std::span<const TermId> int_terms) const {
 }
 
 void Solver::block_current_ints(std::span<const TermId> int_terms) {
+  block_current_ints(int_terms, kNoTerm);
+}
+
+void Solver::block_current_ints(std::span<const TermId> int_terms,
+                                TermId activation) {
   std::vector<TermId> disjuncts;
-  disjuncts.reserve(int_terms.size());
+  disjuncts.reserve(int_terms.size() + 1);
+  if (activation != kNoTerm) disjuncts.push_back(terms_.not_(activation));
   for (const TermId t : int_terms) {
     disjuncts.push_back(terms_.ne(t, terms_.int_const(model_int(t))));
   }

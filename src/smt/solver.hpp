@@ -81,6 +81,13 @@ class Solver {
   /// so the next check() yields a different projection (all-SAT step).
   void block_current_ints(std::span<const TermId> int_terms);
 
+  /// Guarded all-SAT step for shared solver sessions: the blocking clause is
+  /// `¬activation ∨ (some value differs)`, so it only bites while the caller
+  /// assumes `activation`. Checks that don't pass the activation literal are
+  /// free to satisfy the clause by setting it false, leaving them unaffected
+  /// by any enumeration that ran on the same session.
+  void block_current_ints(std::span<const TermId> int_terms, TermId activation);
+
   /// Every term passed to assert_term, in order (for SMT-LIB export and the
   /// Z3 cross-check backend).
   [[nodiscard]] std::span<const TermId> assertions() const { return assertions_; }

@@ -83,6 +83,55 @@ TEST(SymbolicCheckerTest, EnumerationCapRespected) {
   EXPECT_EQ(e.matchings.size(), 2u);
 }
 
+// One encoding, one solver session per checker: check() and
+// enumerate_matchings() on the same instance must not rebuild anything, and
+// queries must not contaminate each other (enumeration blocking clauses are
+// activation-guarded, properties ride as assumptions).
+TEST(SymbolicCheckerTest, SessionEncodesOnceAcrossQueries) {
+  const auto [program, properties] = wl::figure1_with_property();
+  const trace::Trace tr = record(program, 42, false);
+  SymbolicChecker checker(tr);
+  EXPECT_EQ(checker.encode_count(), 0u);  // lazy: no query yet
+
+  const SymbolicVerdict first = checker.check(properties);
+  EXPECT_TRUE(first.violation_possible());
+  EXPECT_EQ(checker.encode_count(), 1u);
+  EXPECT_EQ(checker.solver_calls(), 1u);
+  EXPECT_GT(first.encode_seconds, 0.0);
+
+  const SymbolicEnumeration e1 = checker.enumerate_matchings();
+  EXPECT_EQ(e1.matchings.size(), 2u);
+  EXPECT_EQ(e1.solver_calls, 3u);  // 2 SAT + final UNSAT
+  EXPECT_EQ(checker.encode_count(), 1u);  // shared session, no re-encode
+  EXPECT_EQ(checker.solver_calls(), 4u);
+
+  // A later check is not poisoned by the enumeration's blocking clauses,
+  // and a repeated enumeration starts from an unblocked formula.
+  const SymbolicVerdict second = checker.check(properties);
+  EXPECT_EQ(second.result, first.result);
+  EXPECT_EQ(second.encode_seconds, 0.0);  // encoding charged once
+  const SymbolicEnumeration e2 = checker.enumerate_matchings();
+  EXPECT_EQ(e2.matchings, e1.matchings);
+  EXPECT_EQ(e2.solver_calls, e1.solver_calls);
+  EXPECT_EQ(checker.encode_count(), 1u);
+  EXPECT_EQ(checker.solver_calls(), 8u);
+}
+
+// Order independence: enumerating before the first check() must leave the
+// property query intact (the session adds property terms on demand).
+TEST(SymbolicCheckerTest, SessionEnumerateThenCheck) {
+  const auto [program, properties] = wl::figure1_with_property();
+  const trace::Trace tr = record(program, 42, false);
+  SymbolicChecker checker(tr);
+  const SymbolicEnumeration e = checker.enumerate_matchings();
+  EXPECT_EQ(e.matchings.size(), 2u);
+  const SymbolicVerdict v = checker.check(properties);
+  EXPECT_TRUE(v.violation_possible());
+  ASSERT_TRUE(v.witness.has_value());
+  EXPECT_FALSE(v.witness->violated.empty());
+  EXPECT_EQ(checker.encode_count(), 1u);
+}
+
 // --- ExplicitChecker ------------------------------------------------------
 
 TEST(ExplicitCheckerTest, FindsScatterGatherViolation) {
