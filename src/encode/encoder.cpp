@@ -310,9 +310,21 @@ void Encoder::build_matches(Encoding& enc) {
 
 void Encoder::build_unique(Encoding& enc) {
   // Fig. 3: PUnique := AND over receive pairs of isDiffSend(r_i, r_j).
-  // The literal algorithm walks all pairs; by default we skip pairs whose
-  // candidate sets cannot intersect (the constraint would be vacuous).
+  // Three emission shapes, weakest code path last:
+  //  * ladder (default): uniqueness is really a per-send property — two
+  //    receives collide only by agreeing on one send's uid, and both must be
+  //    candidates of that send — so one at-most-one ladder per send over its
+  //    selector literals covers everything the pairwise walk covered, in
+  //    linear size (build_unique_ladders);
+  //  * overlap-aware pairwise (unique_ladder = false): ne() per receive pair
+  //    whose candidate sets intersect, quadratic on hot endpoints;
+  //  * all pairs (unique_all_pairs): the paper's Fig. 3 verbatim.
   std::vector<TermId> uniq;
+  if (options_.unique_ladder && !options_.unique_all_pairs) {
+    build_unique_ladders(enc, uniq);
+    enc.p_unique = tt_.and_(uniq);
+    return;
+  }
   const auto& recvs = enc.recv_order;
   for (std::size_t i = 0; i < recvs.size(); ++i) {
     for (std::size_t j = i + 1; j < recvs.size(); ++j) {
@@ -334,11 +346,68 @@ void Encoder::build_unique(Encoding& enc) {
   enc.p_unique = tt_.and_(uniq);
 }
 
+void Encoder::build_unique_ladders(Encoding& enc, std::vector<TermId>& uniq) {
+  // Which channels get a FIFO high-water chain? Those sends need no ladder:
+  // the chain forces strictly increasing ids among the channel's matched
+  // receives, so two receives can never agree on one uid (see build_fifo).
+  std::unordered_map<mcapi::ChannelId, std::size_t> channel_sends;
+  if (options_.fifo_non_overtaking && options_.fifo_chain) {
+    for (const EventIndex s : trace_.sends()) {
+      const ExecEvent& se = trace_.event(s).ev;
+      ++channel_sends[{se.src, se.dst}];
+    }
+  }
+  // Candidate receives per send, in ascending receive order (the iteration
+  // order below is trace send order — both deterministic).
+  std::unordered_map<EventIndex, std::vector<EventIndex>> recvs_of;
+  for (const EventIndex r : enc.recv_order) {
+    for (const EventIndex s : matches_.get_sends(r)) recvs_of[s].push_back(r);
+  }
+  for (const EventIndex s : trace_.sends()) {
+    const auto it = recvs_of.find(s);
+    if (it == recvs_of.end() || it->second.size() < 2) continue;
+    const ExecEvent& se = trace_.event(s).ev;
+    if (!channel_sends.empty() && channel_sends[{se.src, se.dst}] >= 2) {
+      continue;  // the channel's chain subsumes this send's at-most-one
+    }
+    const auto& rs = it->second;
+    const TermId uid = tt_.int_const(static_cast<std::int64_t>(se.uid));
+    // Selector: "receive rs[i] consumes this send". Hash-consing shares the
+    // term with the PMatch disjunct that introduced it.
+    auto sel = [&](std::size_t i) { return tt_.eq(enc.match_id.at(rs[i]), uid); };
+    if (rs.size() == 2) {
+      uniq.push_back(tt_.not_(tt_.and2(sel(0), sel(1))));
+      ++enc.stats.unique_constraints;
+      continue;
+    }
+    // Sinz-style sequential at-most-one: b_i commits "a selector at or
+    // before position i fired"; any later selector then contradicts it.
+    // 3m-4 constraints and m-2 auxiliary bools for m selectors, against
+    // m(m-1)/2 pairwise negations.
+    const std::string tag = "amo_s" + std::to_string(se.uid) + "_";
+    TermId prev_b = tt_.bool_var(tag + "0");
+    uniq.push_back(tt_.implies(sel(0), prev_b));
+    ++enc.stats.unique_constraints;
+    for (std::size_t i = 1; i + 1 < rs.size(); ++i) {
+      const TermId b = tt_.bool_var(tag + std::to_string(i));
+      uniq.push_back(tt_.implies(sel(i), b));
+      uniq.push_back(tt_.implies(prev_b, b));
+      uniq.push_back(tt_.not_(tt_.and2(sel(i), prev_b)));
+      enc.stats.unique_constraints += 3;
+      prev_b = b;
+    }
+    uniq.push_back(tt_.not_(tt_.and2(sel(rs.size() - 1), prev_b)));
+    ++enc.stats.unique_constraints;
+  }
+}
+
 void Encoder::build_fifo(Encoding& enc) {
   // MCAPI non-overtaking: two sends on one channel must not be received in
   // swapped order by the (single) receiver of the destination endpoint.
   // For s1 <po s2 (same channel) and receive anchors r1 <po r2 (same
-  // endpoint): ¬(id_r1 = uid_s2 ∧ id_r2 = uid_s1).
+  // endpoint): ¬(id_r1 = uid_s2 ∧ id_r2 = uid_s1). Emitted either as the
+  // literal swap negations (fifo_chain = false) or as an equisatisfiable
+  // per-channel high-water chain that is linear in sends + receives.
   std::vector<TermId> fifo;
   // Group receive anchors by endpoint, already in receiver program order
   // because receives() is in observed order and each endpoint has one owner
@@ -390,6 +459,55 @@ void Encoder::build_fifo(Encoding& enc) {
       fifo.push_back(tt_.implies(cur_matched, prev_matched));
       prev_matched = cur_matched;
       ++enc.stats.fifo_constraints;
+    }
+
+    if (options_.fifo_chain) {
+      // High-water chain. Message uids come from a global counter bumped at
+      // send execution, and a channel's sends all come from one thread in
+      // program order, so uids strictly increase along ss. Non-overtaking
+      // then reads: walking the endpoint's receives in completion order, the
+      // ids drawn from this channel must strictly increase. One integer mark
+      // per receive position carries the largest channel id consumed so far;
+      // a matched receive must land strictly above the previous mark and
+      // raise its own mark at least to its id. 3 constraints per position
+      // instead of a swap negation per (send pair × receive pair) — and two
+      // receives agreeing on one send become infeasible too, which is why
+      // build_unique_ladders skips chained channels wholesale.
+      for (std::size_t k = 1; k < ss.size(); ++k) {
+        MCSYM_ASSERT_MSG(
+            trace_.event(ss[k - 1]).ev.uid < trace_.event(ss[k]).ev.uid,
+            "channel sends must carry program-order-increasing uids");
+      }
+      std::vector<std::pair<EventIndex, TermId>> chain;  // (recv, drawn-here)
+      for (const EventIndex r : rs) {
+        std::vector<TermId> arms;
+        for (const EventIndex s : ss) {
+          if (matches_.contains(r, s)) {
+            arms.push_back(tt_.eq(
+                enc.match_id.at(r),
+                tt_.int_const(static_cast<std::int64_t>(trace_.event(s).ev.uid))));
+          }
+        }
+        if (!arms.empty()) chain.emplace_back(r, tt_.or_(arms));
+      }
+      if (chain.size() < 2) continue;  // nothing to order
+      const std::string ctag = "hw_c" + std::to_string(channel.src) + "_" +
+                               std::to_string(channel.dst) + "_";
+      TermId hi = tt_.int_const(
+          static_cast<std::int64_t>(trace_.event(ss[0]).ev.uid) - 1);
+      for (std::size_t i = 0; i < chain.size(); ++i) {
+        const auto& [r, drawn] = chain[i];
+        const TermId id = enc.match_id.at(r);
+        fifo.push_back(tt_.implies(drawn, tt_.lt(hi, id)));
+        ++enc.stats.fifo_constraints;
+        if (i + 1 == chain.size()) break;  // last mark is never read
+        const TermId next = tt_.int_var(ctag + std::to_string(i));
+        fifo.push_back(tt_.le(hi, next));
+        fifo.push_back(tt_.implies(drawn, tt_.le(id, next)));
+        enc.stats.fifo_constraints += 2;
+        hi = next;
+      }
+      continue;
     }
 
     for (std::size_t a = 0; a < ss.size(); ++a) {

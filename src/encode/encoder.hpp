@@ -51,6 +51,21 @@ struct EncodeOptions {
   bool fifo_non_overtaking = true;  // MCAPI per-channel message ordering
   bool delay_ignorant = false;      // baseline [2]: arrival order = issue order
   bool unique_all_pairs = false;    // paper Fig. 3 verbatim (all receive pairs)
+  /// Emit PUnique as one at-most-one ladder per send over its match selector
+  /// literals (id_r = uid_s), linear in the candidate count, instead of the
+  /// legacy pairwise ne() over overlapping receive pairs (quadratic in the
+  /// receives of a hot endpoint). Sends on a channel that gets a FIFO
+  /// high-water chain are skipped entirely: the chain's strict id increase
+  /// already forbids matching one send twice. Equisatisfiable with the
+  /// legacy shape; false = legacy emission. unique_all_pairs wins over this
+  /// flag (the paper-literal ablation stays pairwise).
+  bool unique_ladder = true;
+  /// Emit the FIFO non-overtaking side as one monotone high-water chain per
+  /// channel — an integer mark per receive position carrying the largest
+  /// channel id consumed so far — linear in sends + receives, instead of the
+  /// legacy swap negation per (send pair × receive pair). Equisatisfiable
+  /// with the legacy shape; false = legacy emission.
+  bool fifo_chain = true;
   bool anchor_nb_at_wait = true;    // paper semantics; false = ablation
   /// Model MCAPI's "receives on an endpoint complete in issue order" with
   /// explicit bind-time variables (issue < bind <= completion, binds ordered
@@ -136,6 +151,7 @@ class Encoder {
   void build_order(Encoding& enc);
   void build_matches(Encoding& enc);
   void build_unique(Encoding& enc);
+  void build_unique_ladders(Encoding& enc, std::vector<smt::TermId>& uniq);
   void build_fifo(Encoding& enc);
   void build_delay_ignorant(Encoding& enc);
   void build_properties(Encoding& enc, std::span<const Property> properties);

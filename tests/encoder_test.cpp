@@ -2,12 +2,15 @@
 // semantics toggles, and witness decoding.
 #include <gtest/gtest.h>
 
+#include "check/random_program.hpp"
+#include "check/symbolic_checker.hpp"
 #include "check/workloads.hpp"
 #include "encode/encoder.hpp"
 #include "encode/witness.hpp"
 #include "match/generators.hpp"
 #include "mcapi/executor.hpp"
 #include "smt/solver.hpp"
+#include "support/env.hpp"
 #include "trace/trace.hpp"
 
 namespace mcsym::encode {
@@ -51,9 +54,55 @@ TEST(EncoderTest, Figure1Stats) {
   EXPECT_EQ(b.enc.stats.value_vars, 3u);       // one per receive
   EXPECT_EQ(b.enc.stats.match_disjuncts, 5u);  // 2+2+1 candidates
   EXPECT_EQ(b.enc.stats.order_constraints, 3u);  // one per thread pair
-  // Only t0's two receives share candidates.
-  EXPECT_EQ(b.enc.stats.unique_constraints, 1u);
+  // Two sends are contested (t0's receives are candidates of both); each
+  // gets a two-selector at-most-one, a single negated conjunction. No
+  // channel carries two sends, so no high-water chain absorbs them.
+  EXPECT_EQ(b.enc.stats.unique_constraints, 2u);
   EXPECT_EQ(b.enc.recv_order.size(), 3u);
+}
+
+TEST(EncoderTest, LegacyPairwiseShapeCountsOverlappingPairs) {
+  const mcapi::Program p = wl::figure1();
+  const trace::Trace tr = record(p);
+  Built b;
+  EncodeOptions opts;
+  opts.unique_ladder = false;
+  opts.fifo_chain = false;
+  build(b, tr, opts);
+  // The pre-ladder default: ne() per receive pair with intersecting
+  // candidate sets — only t0's two receives share candidates.
+  EXPECT_EQ(b.enc.stats.unique_constraints, 1u);
+  EXPECT_EQ(b.solver.check(), smt::SolveResult::kSat);
+}
+
+TEST(EncoderTest, LinearShapesShrinkHotWorkloads) {
+  // message_race(4, 3): four senders, three messages each, one receiver
+  // endpoint. Every receive pair overlaps (legacy PUnique is quadratic in
+  // receives) and every channel carries three sends (legacy PFifo is
+  // send-pairs × receive-pairs). The high-water chains and selector ladders
+  // must cut the combined count at least 5x — and because every channel is
+  // chained, the chains subsume uniqueness outright and PUnique vanishes.
+  const mcapi::Program p = wl::message_race(4, 3);
+  const trace::Trace tr = record(p);
+  EncodeOptions legacy;
+  legacy.unique_ladder = false;
+  legacy.fifo_chain = false;
+  legacy.property_mode = PropertyMode::kIgnore;
+  EncodeOptions linear;
+  linear.property_mode = PropertyMode::kIgnore;
+  Built leg;
+  Built lin;
+  build(leg, tr, legacy);
+  build(lin, tr, linear);
+  EXPECT_EQ(lin.enc.stats.unique_constraints, 0u);
+  EXPECT_GT(lin.enc.stats.fifo_constraints, 0u);
+  const std::size_t legacy_total =
+      leg.enc.stats.unique_constraints + leg.enc.stats.fifo_constraints;
+  const std::size_t linear_total =
+      lin.enc.stats.unique_constraints + lin.enc.stats.fifo_constraints;
+  EXPECT_GE(legacy_total, 5 * linear_total)
+      << "legacy=" << legacy_total << " linear=" << linear_total;
+  EXPECT_EQ(leg.solver.check(), lin.solver.check());
 }
 
 TEST(EncoderTest, UniqueAllPairsAblationCountsAllPairs) {
@@ -334,6 +383,44 @@ TEST(EncoderTest, HavocInitialLocalsWeakerThanZero) {
     EXPECT_EQ(b.solver.check(), smt::SolveResult::kSat);
   }
 }
+
+// --- Emission-shape equisatisfiability battery -----------------------------
+
+// The linear shapes (per-send selector ladders, per-channel high-water
+// chains) must be drop-in replacements for the legacy quadratic emissions:
+// same verdict on the bug-hunting query and identical enumerated matching
+// sets on random programs (nonblocking ops on even seeds). The seed count
+// scales with MCSYM_TEST_ITERS (nightly cranks it).
+class EmissionShapeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EmissionShapeTest, LinearAndLegacyShapesAgree) {
+  const std::uint64_t seed = GetParam();
+  check::RandomProgramOptions ropts;
+  ropts.allow_nonblocking = (seed % 2) == 0;
+  const mcapi::Program p = check::random_program(seed, ropts);
+  const trace::Trace tr = record(p, seed ^ 0x5eed, false);
+
+  auto shaped = [](bool linear) {
+    check::SymbolicOptions so;
+    so.encode.unique_ladder = linear;
+    so.encode.fifo_chain = linear;
+    return so;
+  };
+  check::SymbolicChecker lin(tr, shaped(true));
+  check::SymbolicChecker leg(tr, shaped(false));
+  EXPECT_EQ(lin.check().result, leg.check().result) << "seed=" << seed;
+
+  const auto el = lin.enumerate_matchings();
+  const auto eg = leg.enumerate_matchings();
+  ASSERT_FALSE(el.truncated);
+  ASSERT_FALSE(eg.truncated);
+  EXPECT_EQ(el.matchings, eg.matchings) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, EmissionShapeTest,
+    ::testing::Range<std::uint64_t>(
+        7000, 7000 + support::env_u64("MCSYM_TEST_ITERS", 25)));
 
 TEST(WitnessTest, ToStringMentionsScheduleAndMatching) {
   const auto [program, properties] = wl::figure1_with_property();
