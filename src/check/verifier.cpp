@@ -239,38 +239,172 @@ void run_dpor_checked(Ctx& ctx, DporMode mode, const ExplicitResult& truth,
   check_dpor_result(ctx, mode, dr, truth, observers, workspace, ps);
 }
 
-/// The symbolic engine: record `request.traces` traces, SMT-check each,
-/// replay SAT witnesses. With `truth` (portfolio mode) every verdict is
-/// cross-checked against the explicit ground truth; standalone, the
-/// verdicts become the engine's own answer (per-trace scope: kSafe means
-/// "no execution consistent with the recorded traces violates").
-/// `shared_workspace` (optional) is a journaling System for the program,
-/// reused for every concrete run instead of constructing a fresh one — the
-/// portfolio passes its deadlock-replay workspace here so one live System
-/// serves the whole verify() call.
-void run_symbolic(Ctx& ctx, const ExplicitResult* truth, PortfolioStats& ps,
-                  mcapi::System* shared_workspace = nullptr) {
-  const support::Stopwatch engine_timer;
-  const VerifyRequest& req = ctx.request;
-  VerifyReport& report = ctx.report;
+/// One trace's production artifacts — everything the symbolic stage can
+/// compute without touching the report: the recorded trace, the solver
+/// verdict, the attempted witness replay, and the bits of runtime state the
+/// judge needs later (the recording script, concrete-violation details).
+/// Workers fill these concurrently (claim-a-trace-index loop); the judge
+/// consumes them strictly in trace-index order, so the report and the
+/// portfolio counters are written exactly as the old serial loop wrote them.
+struct SymbolicOutcome {
+  std::optional<TraceCheck> tc;        // nullopt: truncated before recording
+  std::vector<mcapi::Action> script;   // the recording run's schedule
+  std::optional<mcapi::Violation> violation;  // concrete-violation runs only:
+  std::vector<mcapi::Violation> violations;   // captured before rollback
+  std::optional<std::string> validate_error;
+  bool truncated_at_solve = false;     // cancelled between record and solve
+  std::uint64_t solver_calls = 0;
+};
 
-  SymbolicOptions so = req.symbolic;
+/// Records, checks and (on SAT) replays trace `t` into `out`, using one
+/// worker's journaling `workspace`. Every step is deterministic given the
+/// trace index — the scheduler is seeded per index, the solver session is
+/// self-contained — so sharded production is indistinguishable from serial.
+void produce_symbolic_trace(Ctx& ctx, const SymbolicOptions& so,
+                            std::uint32_t t, mcapi::System& workspace,
+                            SymbolicOutcome& out) {
+  const VerifyRequest& req = ctx.request;
+  if (ctx.wall_exhausted() ||
+      ctx.cancel_requested.load(std::memory_order_relaxed) ||
+      !ctx.fire(Engine::kSymbolic, "record-trace")) {
+    return;  // tc stays empty: the judge truncates at this index
+  }
+  workspace.rollback(0);
+  trace::Trace tr(ctx.program);
+  trace::Recorder rec(tr);
+  mcapi::RunResult rr;
+  if (req.round_robin) {
+    mcapi::RoundRobinScheduler sched;
+    rr = mcapi::run(workspace, sched, &rec, req.budget.max_run_steps,
+                    &out.script);
+  } else {
+    mcapi::RandomScheduler sched(req.trace_seed + t, kBiases[t % 3]);
+    rr = mcapi::run(workspace, sched, &rec, req.budget.max_run_steps,
+                    &out.script);
+  }
+  out.tc.emplace(
+      TraceCheck{std::move(tr), rr.outcome, false, false, {}, std::nullopt});
+  TraceCheck& tc = *out.tc;
+
+  if (rr.outcome == mcapi::RunResult::Outcome::kStepLimit ||
+      rr.outcome == mcapi::RunResult::Outcome::kDeadlock) {
+    return;  // judged from the outcome alone
+  }
+  if (rr.outcome == mcapi::RunResult::Outcome::kViolation) {
+    // Captured now: this worker's workspace is rolled back for its next
+    // claim long before the judge runs.
+    out.violation = workspace.violation();
+    out.violations = workspace.violations();
+  }
+  if (const auto err = tc.trace.validate()) {
+    out.validate_error = *err;
+    return;
+  }
+  for (trace::EventIndex i = 0; i < tc.trace.size(); ++i) {
+    if (tc.trace.event(i).ev.kind == mcapi::ExecEvent::Kind::kAssert) {
+      tc.has_asserts = true;
+      break;
+    }
+  }
+  if (!ctx.fire(Engine::kSymbolic, "solve")) {
+    out.truncated_at_solve = true;
+    return;
+  }
+  SymbolicChecker checker(tc.trace, so);
+  tc.verdict = checker.check(req.properties);
+  tc.checked = true;
+  out.solver_calls = checker.solver_calls();
+  if (req.replay_witnesses && tc.verdict.result == smt::SolveResult::kSat &&
+      tc.verdict.witness.has_value()) {
+    // Continue-past-violation replay: realize the *whole* execution the
+    // model values, every fired assert included, and hold the matching to
+    // exact equality.
+    ReplayOptions ro;
+    ro.continue_past_violation = true;
+    tc.replay =
+        schedule_from_witness(workspace, tc.trace, *tc.verdict.witness, ro);
+  }
+}
+
+struct SymbolicProduction {
+  std::vector<SymbolicOutcome> outcomes;
+  SymbolicOptions so;
+  bool assert_props = false;
+  double seconds = 0;  // wall clock of the production phase
+};
+
+/// The production half of the symbolic engine: record + check + replay for
+/// every requested trace. With request.workers > 1 the trace indices are
+/// claimed from a shared atomic counter by that many threads, each with its
+/// own journaling System. `shared_workspace` (optional, serial path only)
+/// reuses the portfolio's System instead of building one.
+SymbolicProduction produce_symbolic(Ctx& ctx,
+                                    mcapi::System* shared_workspace = nullptr) {
+  const support::Stopwatch timer;
+  const VerifyRequest& req = ctx.request;
+  SymbolicProduction prod;
+  prod.so = req.symbolic;
   if (req.budget.solver_conflicts != 0) {
-    so.conflict_budget = req.budget.solver_conflicts;
+    prod.so.conflict_budget = req.budget.solver_conflicts;
   }
   // --assert-props mode flips SAT's meaning (a fully *correct* execution
   // exists), so the facade's violation vocabulary does not apply; raw
   // results stay available in trace_checks.
-  const bool assert_props =
-      so.encode.property_mode == encode::PropertyMode::kAssert;
+  prod.assert_props =
+      prod.so.encode.property_mode == encode::PropertyMode::kAssert;
+  prod.outcomes.resize(req.traces);
 
-  std::optional<mcapi::System> own_workspace;
-  if (shared_workspace == nullptr) {
-    own_workspace.emplace(ctx.program, req.mode);
-    own_workspace->enable_undo_log();
+  const std::uint32_t workers =
+      std::min(std::max(req.workers, 1u), std::max(req.traces, 1u));
+  if (workers <= 1) {
+    std::optional<mcapi::System> own_workspace;
+    if (shared_workspace == nullptr) {
+      own_workspace.emplace(ctx.program, req.mode);
+      own_workspace->enable_undo_log();
+    }
+    mcapi::System& workspace =
+        shared_workspace != nullptr ? *shared_workspace : *own_workspace;
+    for (std::uint32_t t = 0; t < req.traces; ++t) {
+      SymbolicOutcome& out = prod.outcomes[t];
+      produce_symbolic_trace(ctx, prod.so, t, workspace, out);
+      // The judge stops at the first truncated index; later traces would be
+      // refused (the cancel latch / wall budget stays tripped) — skip them.
+      if (!out.tc.has_value() || out.truncated_at_solve) break;
+    }
+  } else {
+    std::atomic<std::uint32_t> next{0};
+    auto worker_fn = [&ctx, &req, &prod, &next] {
+      mcapi::System workspace(ctx.program, req.mode);
+      workspace.enable_undo_log();
+      for (;;) {
+        const std::uint32_t t = next.fetch_add(1, std::memory_order_relaxed);
+        if (t >= req.traces) return;
+        produce_symbolic_trace(ctx, prod.so, t, workspace, prod.outcomes[t]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::uint32_t w = 0; w < workers; ++w) pool.emplace_back(worker_fn);
+    for (std::thread& th : pool) th.join();
   }
-  mcapi::System& workspace =
-      shared_workspace != nullptr ? *shared_workspace : *own_workspace;
+  prod.seconds = timer.seconds();
+  return prod;
+}
+
+/// The judging half of the symbolic engine: walks the production outcomes
+/// strictly in trace-index order and performs every report mutation of the
+/// old serial loop — truth cross-checks (portfolio mode), disagreements,
+/// witness preference, portfolio counters, and the engine row. Standalone
+/// (`truth` == nullptr) the verdicts become the engine's own answer
+/// (per-trace scope: kSafe means "no execution consistent with the recorded
+/// traces violates"). Serial by construction, so the report is identical at
+/// every worker count.
+void judge_symbolic(Ctx& ctx, SymbolicProduction prod,
+                    const ExplicitResult* truth, PortfolioStats& ps) {
+  const support::Stopwatch judge_timer;
+  const VerifyRequest& req = ctx.request;
+  VerifyReport& report = ctx.report;
+  const bool assert_props = prod.assert_props;
 
   bool violation = false;
   bool deadlock = false;
@@ -284,42 +418,35 @@ void run_symbolic(Ctx& ctx, const ExplicitResult* truth, PortfolioStats& ps,
   std::uint64_t replayed_count = 0;
   std::uint64_t skipped = 0;
   std::uint64_t checked = 0;
+  std::uint64_t solver_calls = 0;
+  std::uint64_t match_disjuncts = 0;
+  std::uint64_t unique_constraints = 0;
+  std::uint64_t fifo_constraints = 0;
+  double encode_seconds = 0;
+  double solve_seconds = 0;
   std::uint32_t recorded = 0;
   // Witness info captured from a terminal-mode concrete run is a stopgap: a
   // later continue-past-violation replay of a SAT witness sees the *whole*
   // execution (all its violations) and upgrades it.
   bool witness_is_concrete = false;
 
-  for (std::uint32_t t = 0; t < req.traces; ++t) {
-    if (ctx.wall_exhausted() ||
-        ctx.cancel_requested.load(std::memory_order_relaxed) ||
-        !ctx.fire(Engine::kSymbolic, "record-trace")) {
+  for (SymbolicOutcome& out : prod.outcomes) {
+    if (!out.tc.has_value()) {
+      // Prefix semantics: the first index refused at record time truncates
+      // the stage; any out-of-order production past it is discarded.
       truncated = true;
       break;
     }
     ++recorded;
-    workspace.rollback(0);
-    trace::Trace tr(ctx.program);
-    trace::Recorder rec(tr);
-    std::vector<mcapi::Action> script;
-    mcapi::RunResult rr;
-    if (req.round_robin) {
-      mcapi::RoundRobinScheduler sched;
-      rr = mcapi::run(workspace, sched, &rec, req.budget.max_run_steps, &script);
-    } else {
-      mcapi::RandomScheduler sched(req.trace_seed + t, kBiases[t % 3]);
-      rr = mcapi::run(workspace, sched, &rec, req.budget.max_run_steps, &script);
-    }
+    TraceCheck& tc = *out.tc;
 
-    TraceCheck tc{std::move(tr), rr.outcome, false, false, {}, std::nullopt};
-
-    if (rr.outcome == mcapi::RunResult::Outcome::kStepLimit) {
+    if (tc.recorded == mcapi::RunResult::Outcome::kStepLimit) {
       ++skipped;
       ++ps.traces_skipped;
       report.trace_checks.push_back(std::move(tc));
       continue;
     }
-    if (rr.outcome == mcapi::RunResult::Outcome::kDeadlock) {
+    if (tc.recorded == mcapi::RunResult::Outcome::kDeadlock) {
       if (truth != nullptr) {
         if (!truth->deadlock_found && !truth->violation_found) {
           // A concrete deadlock is a one-schedule witness the exhaustive
@@ -335,7 +462,7 @@ void run_symbolic(Ctx& ctx, const ExplicitResult* truth, PortfolioStats& ps,
         deadlock = true;
         ++ps.deadlocked_runs;
         if (report.deadlock_schedule.empty()) {
-          report.deadlock_schedule = std::move(script);
+          report.deadlock_schedule = std::move(out.script);
         }
       }
       // A deadlocked run's trace is a prefix artifact, not a checkable one.
@@ -344,7 +471,7 @@ void run_symbolic(Ctx& ctx, const ExplicitResult* truth, PortfolioStats& ps,
     }
 
     const bool concrete_violation =
-        rr.outcome == mcapi::RunResult::Outcome::kViolation;
+        tc.recorded == mcapi::RunResult::Outcome::kViolation;
     if (concrete_violation && truth != nullptr && !truth->violation_found) {
       ctx.disagree(
           "concrete run violated an assertion the explicit checker missed");
@@ -353,34 +480,33 @@ void run_symbolic(Ctx& ctx, const ExplicitResult* truth, PortfolioStats& ps,
     }
     if (concrete_violation && truth == nullptr && !assert_props) {
       // The recording run itself is a counterexample; the symbolic check
-      // below still runs so the verdict is cross-validated.
+      // still ran so the verdict is cross-validated.
       violation = true;
       if (report.witness_schedule.empty()) {
-        report.witness_schedule = script;
-        report.violations = workspace.violations();
-        report.violation = workspace.violation();
+        report.witness_schedule = std::move(out.script);
+        report.violations = std::move(out.violations);
+        report.violation = out.violation;
         witness_is_concrete = true;
       }
     }
-    if (const auto err = tc.trace.validate()) {
+    if (out.validate_error.has_value()) {
       // A violation can stop the run between a recv_i and its wait, leaving
       // a structurally incomplete trace that is not a checkable artifact.
       if (concrete_violation) {
         ++skipped;
         ++ps.traces_skipped;
       } else {
-        ctx.disagree("recorded trace failed validation: " + *err);
+        ctx.disagree("recorded trace failed validation: " + *out.validate_error);
       }
       report.trace_checks.push_back(std::move(tc));
       continue;
     }
-
-    for (trace::EventIndex i = 0; i < tc.trace.size(); ++i) {
-      if (tc.trace.event(i).ev.kind == mcapi::ExecEvent::Kind::kAssert) {
-        tc.has_asserts = true;
-        break;
-      }
+    if (out.truncated_at_solve) {
+      truncated = true;
+      report.trace_checks.push_back(std::move(tc));
+      break;
     }
+
     // With no assert events and no extra properties the encoder leaves
     // ¬PProp unasserted, so check() degrades to a feasibility query: SAT is
     // the only sound answer and the witness must replay without firing.
@@ -392,18 +518,16 @@ void run_symbolic(Ctx& ctx, const ExplicitResult* truth, PortfolioStats& ps,
     const bool props = !req.properties.empty();
     const bool claims_violation = !assert_props && (tc.has_asserts || props);
 
-    if (!ctx.fire(Engine::kSymbolic, "solve")) {
-      truncated = true;
-      report.trace_checks.push_back(std::move(tc));
-      break;
-    }
-    SymbolicChecker checker(tc.trace, so);
-    tc.verdict = checker.check(req.properties);
-    tc.checked = true;
     ++checked;
     ++ps.traces_checked;
     conflicts += tc.verdict.sat_conflicts;
     decisions += tc.verdict.sat_decisions;
+    solver_calls += out.solver_calls;
+    match_disjuncts += tc.verdict.encode_stats.match_disjuncts;
+    unique_constraints += tc.verdict.encode_stats.unique_constraints;
+    fifo_constraints += tc.verdict.encode_stats.fifo_constraints;
+    encode_seconds += tc.verdict.encode_seconds;
+    solve_seconds += tc.verdict.solve_seconds;
 
     switch (tc.verdict.result) {
       case smt::SolveResult::kSat: {
@@ -421,13 +545,6 @@ void run_symbolic(Ctx& ctx, const ExplicitResult* truth, PortfolioStats& ps,
           break;
         }
         if (req.replay_witnesses) {
-          // Continue-past-violation replay: realize the *whole* execution
-          // the model values, every fired assert included, and hold the
-          // matching to exact equality.
-          ReplayOptions ro;
-          ro.continue_past_violation = true;
-          tc.replay =
-              schedule_from_witness(workspace, tc.trace, *tc.verdict.witness, ro);
           if (!tc.replay.has_value()) {
             ctx.disagree(
                 "SAT witness did not replay: schedule diverged from the "
@@ -482,7 +599,7 @@ void run_symbolic(Ctx& ctx, const ExplicitResult* truth, PortfolioStats& ps,
       }
       case smt::SolveResult::kUnknown: {
         ++unknown;
-        if (so.conflict_budget == 0) {
+        if (prod.so.conflict_budget == 0) {
           ctx.disagree(
               "symbolic checker returned kUnknown on an unbounded-budget "
               "query");
@@ -503,7 +620,7 @@ void run_symbolic(Ctx& ctx, const ExplicitResult* truth, PortfolioStats& ps,
           ? Verdict::kUnknown
           : verdict_from(violation, deadlock,
                          truncated || exhausted || skipped > 0 || checked == 0);
-  run.seconds = engine_timer.seconds();
+  run.seconds = prod.seconds + judge_timer.seconds();
   run.counters = {{"traces_recorded", recorded},
                   {"traces_checked", checked},
                   {"traces_skipped", skipped},
@@ -512,20 +629,45 @@ void run_symbolic(Ctx& ctx, const ExplicitResult* truth, PortfolioStats& ps,
                   {"unknown", unknown},
                   {"conflicts", conflicts},
                   {"decisions", decisions},
-                  {"witnesses_replayed", replayed_count}};
+                  {"witnesses_replayed", replayed_count},
+                  {"solver_calls", solver_calls},
+                  {"match_disjuncts", match_disjuncts},
+                  {"unique_constraints", unique_constraints},
+                  {"fifo_constraints", fifo_constraints},
+                  {"encode_micros",
+                   static_cast<std::uint64_t>(encode_seconds * 1e6)},
+                  {"solve_micros",
+                   static_cast<std::uint64_t>(solve_seconds * 1e6)}};
   ctx.report.engines.push_back(std::move(run));
+}
+
+/// The symbolic engine: record `request.traces` traces, SMT-check each,
+/// replay SAT witnesses — sharded across request.workers threads, then
+/// judged serially (verdicts, matchings, witnesses and counters identical
+/// to serial at every worker count). With `truth` (portfolio mode) every
+/// verdict is cross-checked against the explicit ground truth.
+/// `shared_workspace` (optional, serial production only) is a journaling
+/// System for the program, reused for every concrete run instead of
+/// constructing a fresh one.
+void run_symbolic(Ctx& ctx, const ExplicitResult* truth, PortfolioStats& ps,
+                  mcapi::System* shared_workspace = nullptr) {
+  judge_symbolic(ctx, produce_symbolic(ctx, shared_workspace), truth, ps);
 }
 
 /// Portfolio: explicit ground truth first, then both DPOR modes and the
 /// symbolic per-trace pipeline, each cross-checked against it — the
 /// differential harness's agreement story behind one verdict. With
-/// request.workers > 1 the explicit and DPOR engines run concurrently
-/// (each probing the same joint wall clock and cancellation latch); every
-/// cross-check and the symbolic stage run serially after the join, so the
-/// report is never mutated from two threads. Engine rows keep the serial
-/// order (explicit, dpor, dpor-sleepset, symbolic) regardless of which
-/// engine finished first — except that a truncated explicit search no
-/// longer suppresses the DPOR rows, which already ran.
+/// request.workers > 1 every engine runs concurrently: explicit and both
+/// DPOR modes on their own threads, and the symbolic stage's production
+/// half (record/encode/solve/replay) sharded across its own worker pool —
+/// all probing the same joint wall clock and cancellation latch. Every
+/// cross-check and the symbolic judging run serially after the join, so
+/// the report is never mutated from two threads. Engine rows keep the
+/// serial order (explicit, dpor, dpor-sleepset, symbolic) regardless of
+/// which engine finished first — except that a truncated explicit search
+/// no longer suppresses the DPOR rows, which already ran, and discards
+/// the symbolic production (budget-exhausted verdicts carry no symbolic
+/// row, matching the serial path).
 void run_portfolio(Ctx& ctx) {
   VerifyReport& report = ctx.report;
   report.portfolio = PortfolioStats{};
@@ -536,6 +678,7 @@ void run_portfolio(Ctx& ctx) {
   ExplicitResult truth;
   std::optional<DporResult> optimal;
   std::optional<DporResult> sleepset;
+  std::optional<SymbolicProduction> symbolic;
   if (concurrent) {
     EngineRun truth_run;
     EngineRun optimal_run;
@@ -553,9 +696,12 @@ void run_portfolio(Ctx& ctx) {
         *sleepset = run_dpor_raw(ctx, DporMode::kSleepSet, sleepset_run);
       });
     }
+    symbolic.emplace();
+    std::thread symbolic_thread([&] { *symbolic = produce_symbolic(ctx); });
     explicit_thread.join();
     optimal_thread.join();
     if (sleepset_thread.joinable()) sleepset_thread.join();
+    symbolic_thread.join();
     report.engines.push_back(std::move(truth_run));
     report.engines.push_back(std::move(optimal_run));
     if (with_sleepset) report.engines.push_back(std::move(sleepset_run));
@@ -598,7 +744,11 @@ void run_portfolio(Ctx& ctx) {
     }
   }
 
-  run_symbolic(ctx, &truth, ps, &workspace);
+  if (concurrent) {
+    judge_symbolic(ctx, std::move(*symbolic), &truth, ps);
+  } else {
+    run_symbolic(ctx, &truth, ps, &workspace);
+  }
   // The symbolic engine is the only one that sees extra end-of-run
   // properties, so its violation verdict feeds the portfolio's answer.
   const bool symbolic_violation =
@@ -827,7 +977,14 @@ EnumerateReport Verifier::enumerate(const mcapi::Program& program,
 
 void zero_report_seconds(VerifyReport& report) {
   report.seconds = 0;
-  for (EngineRun& run : report.engines) run.seconds = 0;
+  for (EngineRun& run : report.engines) {
+    run.seconds = 0;
+    for (auto& [key, value] : run.counters) {
+      if (key.size() >= 7 && key.compare(key.size() - 7, 7, "_micros") == 0) {
+        value = 0;
+      }
+    }
+  }
 }
 
 std::string report_to_json(const VerifyReport& report) {

@@ -80,13 +80,16 @@ struct VerifyRequest {
   mcapi::DeliveryMode mode = mcapi::DeliveryMode::kArbitraryDelay;
 
   /// Worker threads. >1 shards optimal-DPOR exploration across that many
-  /// threads (DporOptions::workers — verdicts and trace counters stay
-  /// identical to serial) and makes portfolio mode run its explicit and
-  /// DPOR engines concurrently under the same joint wall-clock budget (the
-  /// symbolic stage stays serial: it owns the report's trace bookkeeping).
-  /// The progress callback is then fired from several threads and must be
-  /// thread-safe; cancellation still stops every engine. 1 = fully serial
-  /// (default, byte-identical reports to previous releases).
+  /// threads (DporOptions::workers), shards the symbolic stage's per-trace
+  /// pipeline (record, encode, solve, witness replay) across that many
+  /// workers claiming trace indices from a queue, and makes portfolio mode
+  /// run every engine concurrently under the same joint wall-clock budget.
+  /// Sharded production is judged serially in trace-index order, so
+  /// verdicts, matchings, witnesses and counters stay identical to serial
+  /// at every worker count. The progress callback is then fired from
+  /// several threads and must be thread-safe; cancellation still stops
+  /// every engine. 1 = fully serial (default, byte-identical reports to
+  /// previous releases).
   std::uint32_t workers = 1;
 
   /// Symbolic / portfolio: how many traces to record and check, and the

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
 #include <cstdint>
 #include <string>
 
@@ -327,6 +328,56 @@ TEST(VerifierTest, ShardedDporEngineReportsThroughTheFacade) {
   EXPECT_TRUE(saw_duplicates);
 }
 
+TEST(VerifierTest, ShardedSymbolicStageIsByteIdenticalToSerial) {
+  // The symbolic stage shards per-trace production across workers but is
+  // judged serially in trace-index order, so the whole JSON report —
+  // verdicts, witnesses, counters, portfolio stats — must be byte-identical
+  // to the serial run at every worker count (timing fields zeroed, the one
+  // nondeterministic ingredient). The sole legitimate worker-count artifact
+  // is the DPOR engines' parallel_duplicates counter, which only exists
+  // when workers > 1; it is stripped before comparing.
+  const auto strip_parallel_duplicates = [](std::string json) {
+    const std::string key = ", \"parallel_duplicates\": ";
+    for (std::size_t at = json.find(key); at != std::string::npos;
+         at = json.find(key, at)) {
+      std::size_t end = at + key.size();
+      while (end < json.size() && std::isdigit(json[end]) != 0) ++end;
+      json.erase(at, end - at);
+    }
+    return json;
+  };
+  struct Case {
+    const char* name;
+    Program program;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"safe", safe_handshake()});
+  cases.push_back({"violation", race_with_assert()});
+  cases.push_back({"two-asserts", race_with_two_asserts()});
+  for (Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    for (const Engine engine : {Engine::kSymbolic, Engine::kPortfolio}) {
+      std::string serial;
+      for (const std::uint32_t workers : {1u, 2u, 4u, 8u}) {
+        VerifyRequest req;
+        req.engine = engine;
+        req.traces = 4;
+        req.workers = workers;
+        Verifier verifier;
+        VerifyReport report = verifier.verify(c.program, req);
+        zero_report_seconds(report);
+        const std::string json = strip_parallel_duplicates(report_to_json(report));
+        if (workers == 1) {
+          serial = json;
+        } else {
+          EXPECT_EQ(json, serial) << engine_name(engine) << " workers="
+                                  << workers;
+        }
+      }
+    }
+  }
+}
+
 TEST(VerifierTest, ContinuePastViolationReportsEveryViolation) {
   // The model values the whole execution; with continue-past-violation
   // replay the facade reports both failing asserts of the same execution
@@ -425,7 +476,7 @@ TEST(VerifierJsonTest, GoldenSafeReport) {
     {"engine": "explicit", "verdict": "safe", "truncated": false, "seconds": 0.000000, "counters": {"states_expanded": 5, "transitions": 4, "terminal_states": 1}},
     {"engine": "dpor", "verdict": "safe", "truncated": false, "seconds": 0.000000, "counters": {"transitions": 4, "executions": 1, "terminal_states": 1, "races_detected": 0, "wakeup_nodes": 0, "sleep_prunes": 0, "redundant_explorations": 0}},
     {"engine": "dpor-sleepset", "verdict": "safe", "truncated": false, "seconds": 0.000000, "counters": {"transitions": 4, "executions": 1, "terminal_states": 1, "races_detected": 0, "wakeup_nodes": 0, "sleep_prunes": 0, "redundant_explorations": 0}},
-    {"engine": "symbolic", "verdict": "safe", "truncated": false, "seconds": 0.000000, "counters": {"traces_recorded": 1, "traces_checked": 1, "traces_skipped": 0, "sat": 0, "unsat": 1, "unknown": 0, "conflicts": 0, "decisions": 0, "witnesses_replayed": 0}}
+    {"engine": "symbolic", "verdict": "safe", "truncated": false, "seconds": 0.000000, "counters": {"traces_recorded": 1, "traces_checked": 1, "traces_skipped": 0, "sat": 0, "unsat": 1, "unknown": 0, "conflicts": 0, "decisions": 0, "witnesses_replayed": 0, "solver_calls": 1, "match_disjuncts": 1, "unique_constraints": 0, "fifo_constraints": 0, "encode_micros": 0, "solve_micros": 0}}
   ],
   "disagreements": [],
   "portfolio": {"traces_checked": 1, "sat_verdicts": 0, "unsat_verdicts": 1, "witnesses_replayed": 0, "traces_skipped": 0, "dpor_skipped": 0, "deadlock_reachable": false, "deadlock_schedules_replayed": 0, "deadlocked_runs": 0, "optimal_redundant_paths": 0}

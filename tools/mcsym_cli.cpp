@@ -70,8 +70,10 @@ verify options:
   --max-transitions N  DPOR budget (transitions executed)
   --conflicts N        CDCL conflict budget per solver query (default off)
   --traces N           traces to record and check (symbolic/portfolio, default 1)
-  --workers N          exploration threads: shards DPOR and runs portfolio
-                       engines concurrently (default 1 = serial)
+  --workers N          worker threads: shards DPOR exploration and the
+                       symbolic per-trace checks, and runs portfolio
+                       engines concurrently (default 1 = serial; reports
+                       are identical at every worker count)
 
 common options:
   --seed N             scheduler seed for the recorded execution (default 1)
