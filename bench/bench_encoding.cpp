@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "check/symbolic_checker.hpp"
 #include "check/workloads.hpp"
 #include "encode/encoder.hpp"
 #include "match/generators.hpp"
@@ -32,8 +33,9 @@ trace::Trace record(const mcapi::Program& p, std::uint64_t seed = 1) {
 
 void print_table() {
   std::printf("== E2: encoding size vs workload (Fig. 2/3 algorithms) ==\n");
-  std::printf("%-22s %-8s %-8s %-10s %-12s %-12s %-8s\n", "workload", "clocks",
-              "ids", "disjuncts", "uniq(paper)", "uniq(overlap)", "fifo");
+  std::printf("%-22s %-8s %-8s %-10s %-12s %-13s %-12s %-12s %-12s\n",
+              "workload", "clocks", "ids", "disjuncts", "uniq(paper)",
+              "uniq(legacy)", "uniq(linear)", "fifo(legacy)", "fifo(linear)");
   for (const auto& [senders, msgs] :
        {std::pair{2u, 2u}, {3u, 2u}, {4u, 2u}, {4u, 4u}, {6u, 4u}}) {
     const mcapi::Program p = wl::message_race(senders, msgs);
@@ -47,19 +49,29 @@ void print_table() {
     const auto enc1 = e1.encode();
 
     smt::Solver s2;
-    encode::Encoder e2(s2, tr, set);
+    encode::EncodeOptions legacy;
+    legacy.unique_ladder = false;
+    legacy.fifo_chain = false;
+    encode::Encoder e2(s2, tr, set, legacy);
     const auto enc2 = e2.encode();
+
+    smt::Solver s3;
+    encode::Encoder e3(s3, tr, set);  // default: linear shapes
+    const auto enc3 = e3.encode();
 
     char name[40];
     std::snprintf(name, sizeof name, "message_race(%u,%u)", senders, msgs);
-    std::printf("%-22s %-8zu %-8zu %-10zu %-12zu %-12zu %-8zu\n", name,
-                enc2.stats.clock_vars, enc2.stats.id_vars,
-                enc2.stats.match_disjuncts, enc1.stats.unique_constraints,
-                enc2.stats.unique_constraints, enc2.stats.fifo_constraints);
+    std::printf("%-22s %-8zu %-8zu %-10zu %-12zu %-13zu %-12zu %-12zu %-12zu\n",
+                name, enc3.stats.clock_vars, enc3.stats.id_vars,
+                enc3.stats.match_disjuncts, enc1.stats.unique_constraints,
+                enc2.stats.unique_constraints, enc3.stats.unique_constraints,
+                enc2.stats.fifo_constraints, enc3.stats.fifo_constraints);
   }
   std::printf("paper expectation: uniq(paper) grows ~R^2/2 with receives R "
               "(Fig. 3 double loop); disjuncts per receive grow with its "
-              "candidate set (Fig. 2 inner loop).\n\n");
+              "candidate set (Fig. 2 inner loop). The linear shapes (AMO "
+              "ladders + high-water chains) replace the legacy quadratic/"
+              "quartic emissions equisatisfiably.\n\n");
 }
 
 template <bool kAllPairs>
@@ -100,6 +112,92 @@ void BM_Encode_Pipeline_FifoToggle(benchmark::State& state) {
   state.counters["fifo_constraints"] = static_cast<double>(constraints);
 }
 BENCHMARK(BM_Encode_Pipeline_FifoToggle)->Arg(0)->Arg(1);
+
+// Linear emission shapes (per-send AMO ladders + per-channel high-water
+// chains) vs the legacy pairwise/swap-negation shapes, constraint counts
+// surfaced as counters. On chain-heavy workloads the linear shapes shrink
+// the PUnique + PFifo constraint count >= 5x (pinned by encoder_test);
+// this series tracks the wall-clock side of that reduction.
+void encode_shapes(benchmark::State& state, bool linear) {
+  const auto senders = static_cast<std::uint32_t>(state.range(0));
+  const auto msgs = static_cast<std::uint32_t>(state.range(1));
+  const mcapi::Program p = wl::message_race(senders, msgs);
+  const trace::Trace tr = record(p);
+  const match::MatchSet set = match::generate_overapprox(tr);
+  encode::EncodeStats stats;
+  for (auto _ : state) {
+    smt::Solver solver;
+    encode::EncodeOptions opts;
+    opts.unique_ladder = linear;
+    opts.fifo_chain = linear;
+    encode::Encoder encoder(solver, tr, set, opts);
+    stats = encoder.encode().stats;
+    benchmark::DoNotOptimize(stats.unique_constraints);
+  }
+  state.counters["unique_constraints"] =
+      static_cast<double>(stats.unique_constraints);
+  state.counters["fifo_constraints"] =
+      static_cast<double>(stats.fifo_constraints);
+}
+
+void BM_Encode_Shapes_Linear(benchmark::State& state) {
+  encode_shapes(state, true);
+}
+BENCHMARK(BM_Encode_Shapes_Linear)->Args({4, 3})->Args({6, 4})->Args({8, 4});
+
+void BM_Encode_Shapes_Legacy(benchmark::State& state) {
+  encode_shapes(state, false);
+}
+BENCHMARK(BM_Encode_Shapes_Legacy)->Args({4, 3})->Args({6, 4})->Args({8, 4});
+
+// Incremental solver sessions: one SymbolicChecker owns one encoding and
+// one solver across check + enumerate + re-check (properties ride as
+// assumptions, enumeration blocking clauses are activation-guarded) vs the
+// old fresh-session-per-query shape re-encoding every time.
+void session_queries(benchmark::State& state, bool incremental) {
+  const mcapi::Program p = wl::message_race(3, 2);
+  const trace::Trace tr = record(p);
+  std::uint64_t solver_calls = 0;
+  for (auto _ : state) {
+    if (incremental) {
+      check::SymbolicChecker checker(tr);
+      benchmark::DoNotOptimize(checker.check().result);
+      benchmark::DoNotOptimize(checker.enumerate_matchings().matchings.size());
+      benchmark::DoNotOptimize(checker.check().result);
+      solver_calls = checker.solver_calls();
+    } else {
+      std::uint64_t calls = 0;
+      {
+        check::SymbolicChecker checker(tr);
+        benchmark::DoNotOptimize(checker.check().result);
+        calls += checker.solver_calls();
+      }
+      {
+        check::SymbolicChecker checker(tr);
+        benchmark::DoNotOptimize(
+            checker.enumerate_matchings().matchings.size());
+        calls += checker.solver_calls();
+      }
+      {
+        check::SymbolicChecker checker(tr);
+        benchmark::DoNotOptimize(checker.check().result);
+        calls += checker.solver_calls();
+      }
+      solver_calls = calls;
+    }
+  }
+  state.counters["solver_calls"] = static_cast<double>(solver_calls);
+}
+
+void BM_Session_Incremental(benchmark::State& state) {
+  session_queries(state, true);
+}
+BENCHMARK(BM_Session_Incremental);
+
+void BM_Session_Fresh(benchmark::State& state) {
+  session_queries(state, false);
+}
+BENCHMARK(BM_Session_Fresh);
 
 void BM_Encode_EndToEnd_WithSolve(benchmark::State& state) {
   const auto senders = static_cast<std::uint32_t>(state.range(0));

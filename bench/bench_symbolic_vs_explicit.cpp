@@ -12,6 +12,7 @@
 #include "check/dpor.hpp"
 #include "check/explicit_checker.hpp"
 #include "check/symbolic_checker.hpp"
+#include "check/verifier.hpp"
 #include "check/workloads.hpp"
 #include "mcapi/executor.hpp"
 #include "support/stats.hpp"
@@ -215,6 +216,31 @@ void BM_Dpor_MessageRace_SleepSet(benchmark::State& state) {
   dpor_message_race(state, check::DporMode::kSleepSet);
 }
 BENCHMARK(BM_Dpor_MessageRace_SleepSet)->Arg(2)->Arg(3)->Arg(4);
+
+// The sharded symbolic stage on its worker axis: one Verifier symbolic run
+// (record + encode + solve + witness replay per trace) with the per-trace
+// pipeline distributed across N workers claiming trace indices from a
+// queue. Real time is the honest metric — cpu_time sums the fleet. The
+// verdict and every counter are byte-identical across the axis (pinned by
+// verifier_test); this series tracks whether the sharding actually buys
+// wall clock on a multi-trace request.
+void BM_Symbolic_Sharded(benchmark::State& state) {
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  const mcapi::Program p = wl::message_race(4, 2);
+  check::VerifyRequest req;
+  req.engine = check::Engine::kSymbolic;
+  req.traces = 16;
+  req.workers = workers;
+  check::Verdict verdict = check::Verdict::kUnknown;
+  for (auto _ : state) {
+    check::Verifier verifier;
+    const check::VerifyReport report = verifier.verify(p, req);
+    verdict = report.verdict;
+    benchmark::DoNotOptimize(&report);
+  }
+  state.counters["safe"] = verdict == check::Verdict::kSafe ? 1 : 0;
+}
+BENCHMARK(BM_Symbolic_Sharded)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 // The state-fork micro-bench behind the whole refactor: forking the
 // execution state mid-exploration by copy-the-world (what every frame of
