@@ -1,0 +1,39 @@
+# FindZ3 — locate a system Z3 and expose the z3::libz3 imported target.
+#
+# Upstream Z3 releases ship their own Z3Config.cmake, but the Debian/Ubuntu
+# libz3-dev package does not, so find_package(Z3) on a stock CI runner falls
+# through to this module. Prefers an installed config when one exists.
+#
+# Result variables:
+#   Z3_FOUND, Z3_INCLUDE_DIR, Z3_LIBRARY, Z3_VERSION (when detectable)
+# Imported target:
+#   z3::libz3
+
+find_package(Z3 CONFIG QUIET)
+if(Z3_FOUND AND TARGET z3::libz3)
+  return()
+endif()
+
+find_path(Z3_INCLUDE_DIR z3++.h PATH_SUFFIXES z3)
+find_library(Z3_LIBRARY NAMES z3 libz3)
+
+if(Z3_INCLUDE_DIR AND EXISTS "${Z3_INCLUDE_DIR}/z3_version.h")
+  # Z3_FULL_VERSION: "4.8.12.0" (quoted in the header).
+  file(STRINGS "${Z3_INCLUDE_DIR}/z3_version.h" _z3_line
+       REGEX "#define[ \t]+Z3_FULL_VERSION[ \t]")
+  string(REGEX REPLACE ".*\"([0-9.]+)\".*" "\\1" Z3_VERSION "${_z3_line}")
+endif()
+
+include(FindPackageHandleStandardArgs)
+find_package_handle_standard_args(Z3
+  REQUIRED_VARS Z3_LIBRARY Z3_INCLUDE_DIR
+  VERSION_VAR Z3_VERSION)
+
+if(Z3_FOUND AND NOT TARGET z3::libz3)
+  add_library(z3::libz3 UNKNOWN IMPORTED)
+  set_target_properties(z3::libz3 PROPERTIES
+    IMPORTED_LOCATION "${Z3_LIBRARY}"
+    INTERFACE_INCLUDE_DIRECTORIES "${Z3_INCLUDE_DIR}")
+endif()
+
+mark_as_advanced(Z3_INCLUDE_DIR Z3_LIBRARY)
