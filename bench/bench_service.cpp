@@ -1,0 +1,110 @@
+// Verification-as-a-service economics: what a verdict-cache hit buys.
+//
+// BM_Service_Miss is the full pipeline per request — parse, canonical
+// fingerprint, engines, report serialization (cache cleared each
+// iteration). BM_Service_Hit answers the identical request from the cache:
+// parse + fingerprint + LRU lookup + stored-bytes copy, no engines.
+// BM_Service_HitRenamed resubmits an alpha-renamed spelling of the same
+// program, showing the canonicalization holds at full speed. The hit/miss
+// ratio is the multiplier a long-running `mcsym serve` session earns on
+// repeated traffic; the nightly pins its floor.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "check/random_program.hpp"
+#include "check/service.hpp"
+#include "check/verifier.hpp"
+#include "text/program_text.hpp"
+
+namespace {
+
+using namespace mcsym;
+
+std::string workload_text(std::uint32_t threads) {
+  check::RandomProgramOptions opts;
+  opts.threads = threads;
+  opts.add_asserts = true;
+  return text::program_to_text(check::random_program(11, opts), {}, "unit");
+}
+
+/// Crude whole-word rename of the generator's thread spellings — enough to
+/// force the canonical (not textual) path while keeping the program valid.
+std::string renamed_workload_text(std::uint32_t threads) {
+  std::string text = workload_text(threads);
+  std::string out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text.compare(i, 2, "rt") == 0 &&
+        (i == 0 || !std::isalnum(static_cast<unsigned char>(text[i - 1])))) {
+      out += "task";
+      i += 2;
+      continue;
+    }
+    out += text[i++];
+  }
+  return out;
+}
+
+check::VerifyRequest dpor_request() {
+  check::VerifyRequest req;
+  req.engine = check::Engine::kDporOptimal;
+  return req;
+}
+
+void BM_Service_Miss(benchmark::State& state) {
+  const std::string text =
+      workload_text(static_cast<std::uint32_t>(state.range(0)));
+  const check::VerifyRequest req = dpor_request();
+  check::VerifierService service;
+  for (auto _ : state) {
+    service.clear_cache();
+    auto reply = service.verify_source(text, req);
+    benchmark::DoNotOptimize(reply.report_json.data());
+  }
+}
+BENCHMARK(BM_Service_Miss)->Arg(3)->Arg(4);
+
+void BM_Service_Hit(benchmark::State& state) {
+  const std::string text =
+      workload_text(static_cast<std::uint32_t>(state.range(0)));
+  const check::VerifyRequest req = dpor_request();
+  check::VerifierService service;
+  (void)service.verify_source(text, req);  // warm the single entry
+  for (auto _ : state) {
+    auto reply = service.verify_source(text, req);
+    benchmark::DoNotOptimize(reply.report_json.data());
+  }
+}
+BENCHMARK(BM_Service_Hit)->Arg(3)->Arg(4);
+
+void BM_Service_HitRenamed(benchmark::State& state) {
+  const std::uint32_t threads = static_cast<std::uint32_t>(state.range(0));
+  const check::VerifyRequest req = dpor_request();
+  check::VerifierService service;
+  (void)service.verify_source(workload_text(threads), req);
+  const std::string renamed = renamed_workload_text(threads);
+  for (auto _ : state) {
+    auto reply = service.verify_source(renamed, req);
+    benchmark::DoNotOptimize(reply.report_json.data());
+  }
+}
+BENCHMARK(BM_Service_HitRenamed)->Arg(3)->Arg(4);
+
+/// The hit path minus the reply machinery: parse + canonical fingerprint +
+/// key mixing. Bounds how much of a hit is canonicalization overhead.
+void BM_Service_KeyOnly(benchmark::State& state) {
+  const std::string text =
+      workload_text(static_cast<std::uint32_t>(state.range(0)));
+  const check::VerifyRequest req = dpor_request();
+  check::VerifierService service;
+  for (auto _ : state) {
+    auto key = service.cache_key(text, req);
+    benchmark::DoNotOptimize(key.key);
+  }
+}
+BENCHMARK(BM_Service_KeyOnly)->Arg(3)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -93,6 +93,11 @@ void DporChecker::run_optimal(DporResult& result,
   std::vector<ActionFootprint> events;  // E: footprints of the executed prefix
   std::vector<std::vector<bool>> hb;    // hb[i][k]: E[k] happens-before E[i]
   std::vector<Action> enabled;
+  // Raw apply count for the budget check only. The reported
+  // stats.transitions is charged arrival-edge-exact — each execution's full
+  // path length at the moment it completes — which is invariant across
+  // exploration order (see DporStats::transitions).
+  std::uint64_t applied = 0;
 
   auto actions_of_prefix = [&events] {
     std::vector<Action> script;
@@ -273,7 +278,7 @@ void DporChecker::run_optimal(DporResult& result,
   };
 
   while (!stack.empty()) {
-    if (st.transitions >= options_.max_transitions ||
+    if (applied >= options_.max_transitions ||
         over_time_budget(timer)) {
       result.truncated = true;
       break;
@@ -286,11 +291,13 @@ void DporChecker::run_optimal(DporResult& result,
         result.violation = sys.violation();
         result.counterexample = actions_of_prefix();
         ++st.executions;
+        st.transitions += events.size();
         break;
       }
       sys.enabled(enabled);
       if (enabled.empty()) {
         ++st.executions;
+        st.transitions += events.size();
         if (sys.all_halted()) {
           ++st.terminal_states;
         } else {
@@ -328,7 +335,7 @@ void DporChecker::run_optimal(DporResult& result,
       // race bookkeeping always see exact message identities.
       const ActionFootprint fresh = sys.footprint(ev.action);
       sys.apply(fresh.action);
-      ++st.transitions;
+      ++applied;
       append_event(fresh);
       stack[top].chosen = fresh;
       stack[top].chosen_internal = fresh.internal;
@@ -397,7 +404,7 @@ void DporChecker::explore_sleepset(System& sys, std::vector<Action>& sleep,
                                    DporResult& result,
                                    const support::Stopwatch& timer) {
   if (result.truncated || result.violation_found) return;
-  if (result.stats.transitions >= options_.max_transitions ||
+  if (sleepset_applied_ >= options_.max_transitions ||
       over_time_budget(timer)) {
     result.truncated = true;
     return;
@@ -408,6 +415,7 @@ void DporChecker::explore_sleepset(System& sys, std::vector<Action>& sleep,
     result.violation = sys.violation();
     result.counterexample = script;
     ++result.stats.executions;
+    result.stats.transitions += script.size();
     return;
   }
 
@@ -415,6 +423,7 @@ void DporChecker::explore_sleepset(System& sys, std::vector<Action>& sleep,
   sys.enabled(enabled);
   if (enabled.empty()) {
     ++result.stats.executions;
+    result.stats.transitions += script.size();
     if (sys.all_halted()) {
       ++result.stats.terminal_states;
     } else {
@@ -431,7 +440,7 @@ void DporChecker::explore_sleepset(System& sys, std::vector<Action>& sleep,
     if (!is_internal_step(sys, a)) continue;
     const System::Checkpoint here = sys.checkpoint();
     sys.apply(a);
-    ++result.stats.transitions;
+    ++sleepset_applied_;
     script.push_back(a);
     explore_sleepset(sys, sleep, script, result, timer);
     script.pop_back();
@@ -462,7 +471,7 @@ void DporChecker::explore_sleepset(System& sys, std::vector<Action>& sleep,
 
     const System::Checkpoint here = sys.checkpoint();
     sys.apply(a);
-    ++result.stats.transitions;
+    ++sleepset_applied_;
     script.push_back(a);
     explore_sleepset(sys, child_sleep, script, result, timer);
     script.pop_back();
@@ -484,6 +493,7 @@ DporResult DporChecker::run() {
   if (options_.algorithm == DporMode::kSleepSet) {
     System sys(program_, options_.mode);
     sys.enable_undo_log();
+    sleepset_applied_ = 0;
     std::vector<Action> sleep;
     std::vector<Action> script;
     explore_sleepset(sys, sleep, script, result, timer);

@@ -83,10 +83,9 @@ struct DporOptions {
   /// redundant_explorations is always 0 in parallel and executions equals
   /// serial executions minus serial redundant_explorations (equal outright
   /// whenever serial redundant is 0, i.e. on every observer-free program).
-  /// transitions counts the distinct prefixes of completed executions and
-  /// matches serial except in rare claim races that change which
-  /// linearization of a trace gets explored; races_detected / wakeup_nodes
-  /// are scheduling-work counters and depend on claim order. Sleep-set mode
+  /// transitions is charged arrival-edge-exact (see DporStats) and is
+  /// identical to serial at every N; races_detected / wakeup_nodes are
+  /// scheduling-work counters and depend on claim order. Sleep-set mode
   /// ignores this and always runs serially.
   std::uint32_t workers = 1;
 };
@@ -97,6 +96,16 @@ struct DporOptions {
 /// mode redundant_explorations must be 0 — every started execution is the
 /// unique representative of its Mazurkiewicz trace.
 struct DporStats {
+  /// Arrival-edge-exact transition charge: the sum over completed
+  /// executions (terminal, deadlocked, or violating maximal paths) of the
+  /// execution's full path length, charged at the moment the execution
+  /// completes. Sleep-set-blocked paths (serial) and raced duplicates
+  /// (parallel) charge nothing. Every linearization of a Mazurkiewicz
+  /// trace has the same length, so the sum depends only on the set of
+  /// completed traces — it is identical across exploration orders and
+  /// worker counts. The max_transitions budget is enforced against the raw
+  /// apply count (every executed step, including later-abandoned work),
+  /// not against this charge.
   std::uint64_t transitions = 0;
   std::uint64_t executions = 0;
   std::uint64_t terminal_states = 0;
@@ -158,6 +167,10 @@ class DporChecker {
   DporOptions options_;
   // Clock-read amortization for over_time_budget (single-threaded runs).
   mutable std::uint64_t budget_probe_ = 0;
+  // Raw apply count driving max_transitions in the sleep-set DFS; the
+  // reported stats.transitions is charged at execution completion instead
+  // (see DporStats::transitions).
+  std::uint64_t sleepset_applied_ = 0;
 };
 
 }  // namespace mcsym::check

@@ -43,13 +43,16 @@
 // Mazurkiewicz trace: executions / terminal_states / deadlock counts and
 // all verdicts are identical to the serial engine for every worker count
 // (parallel_dpor_test pins this across workers ∈ {1,2,4,8}). The killed
-// duplicates land in stats.parallel_duplicates; transitions is charged at
-// path RETIREMENT (Node::counted), so duplicate-only prefixes never
-// inflate it — it matches serial except when a claim race changes which
-// linearization of a trace retires. races_detected / wakeup_nodes count
-// scheduling WORK, which depends on which worker reaches a race first. A
-// violation stops all workers at the first finder, so counters on
-// violating programs are partial, like any early exit.
+// duplicates land in stats.parallel_duplicates; transitions is charged
+// arrival-edge-exact — each completed execution's full path length at the
+// moment it retires. Every linearization of a Mazurkiewicz trace has the
+// same length, so the sum is independent of WHICH representative a claim
+// race lets complete: transitions equals serial at every worker count
+// (duplicate and sleep-blocked paths charge nothing, in both engines).
+// races_detected / wakeup_nodes count scheduling WORK, which depends on
+// which worker reaches a race first. A violation stops all workers at the
+// first finder, so counters on violating programs are partial, like any
+// early exit.
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -116,10 +119,6 @@ struct Node {
   std::vector<ActionFootprint> inherited_sleep;
   std::vector<Branch> branches;
   bool maximal = false;  // no enabled action at this state
-  /// Arrival edge charged to stats.transitions. Edges are charged when a
-  /// completed (terminal/deadlocked/violating) path retires, so prefixes
-  /// explored only by raced-duplicate paths never inflate the counter.
-  bool counted = false;
 };
 
 class ParallelExplorer {
@@ -176,16 +175,6 @@ class ParallelExplorer {
   /// level and every branch deeper. Requires mu_. Returns nodes added.
   std::size_t insert_into_node(Node* f, std::uint32_t min_branch,
                                std::vector<ActionFootprint> w_);
-  /// Charges the arrival edges of `leaf` and its uncounted ancestors to
-  /// the retiring path. Requires mu_. Returns the number of fresh edges.
-  static std::uint64_t retire_path(Node* leaf) {
-    std::uint64_t fresh = 0;
-    for (Node* n = leaf; n != nullptr && !n->counted; n = n->parent) {
-      n->counted = true;
-      ++fresh;
-    }
-    return fresh;
-  }
   [[nodiscard]] bool over_budget(Worker& w);
   void request_stop_truncated();
 
@@ -529,19 +518,16 @@ Node* ParallelExplorer::execute_branch(Worker& w, Node* node, std::uint32_t bi,
   }
 
   // The max_transitions budget counts every fresh apply (honest work
-  // bound); stats.transitions is charged at path retirement instead, so
-  // prefixes touched only by raced duplicates never inflate it.
+  // bound); stats.transitions is charged arrival-edge-exact at execution
+  // completion instead, so raced-duplicate work never inflates it.
   w.sys.apply(fresh.action);
   transitions_.fetch_add(1, std::memory_order_relaxed);
   push_event(w, fresh);
 
   if (w.sys.has_violation()) {
-    {
-      std::lock_guard<std::mutex> g(mu_);
-      // The violating edge has no child Node yet: charge it (+1) together
-      // with the uncounted prefix.
-      w.stats.transitions += retire_path(node) + 1;
-    }
+    // Arrival-edge-exact: the violating execution's full path length
+    // (w.events already includes the fresh edge).
+    w.stats.transitions += w.events.size();
     ++w.stats.executions;
     {
       std::lock_guard<std::mutex> g(result_mu_);
@@ -639,10 +625,12 @@ Node* ParallelExplorer::execute_branch(Worker& w, Node* node, std::uint32_t bi,
 
   if (maximal || sleep_blocked) {
     if (maximal) {
-      {
-        std::lock_guard<std::mutex> g(mu_);
-        w.stats.transitions += retire_path(cp);
-      }
+      // Arrival-edge-exact: this completed execution's full path length.
+      // Every linearization of its Mazurkiewicz trace has the same length,
+      // so the charge is identical to what the serial engine records for
+      // the trace's representative, whichever linearization won the claim
+      // race.
+      w.stats.transitions += w.events.size();
       ++w.stats.executions;
       if (w.sys.all_halted()) {
         ++w.stats.terminal_states;
@@ -656,7 +644,7 @@ Node* ParallelExplorer::execute_branch(Worker& w, Node* node, std::uint32_t bi,
     } else {
       // Every enabled action asleep: the trace this path was heading for
       // is (or will be) explored via another linearization — a raced
-      // duplicate, not an execution. Its uncounted edges stay unretired.
+      // duplicate, not an execution, so it charges no transitions.
       ++w.stats.parallel_duplicates;
     }
     w.sys.undo();
@@ -817,7 +805,6 @@ void ParallelExplorer::run(DporResult& result) {
     }
   }
   if (pick == nullptr) pick = &enabled.front();
-  root_.counted = true;  // the root has no arrival edge to charge
   Branch seed;
   seed.ev = sys0.footprint(*pick);
   seed.pick = true;

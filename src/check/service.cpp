@@ -1,0 +1,267 @@
+#include "check/service.hpp"
+
+#include <utility>
+
+#include "mcapi/canonical.hpp"
+#include "support/stats.hpp"
+#include "text/program_text.hpp"
+
+namespace mcsym::check {
+
+namespace {
+
+// Section tags for the non-program parts of the cache key, disjoint from
+// the canonical_fingerprint tags so the streams cannot alias.
+enum Tag : std::uint64_t {
+  kTagProperties = 0x5e21ab00,
+  kTagOperand,
+  kTagConfig,
+  kTagString,
+};
+
+void mix_string(support::StateHasher& h, std::string_view s) {
+  h.mix(kTagString);
+  h.mix(s.size());
+  for (const char c : s) h.mix(static_cast<unsigned char>(c));
+}
+
+/// Canonicalizes one property operand: variable names resolve to the
+/// owning thread's slot (the identity alpha-renaming preserves); the
+/// spelling itself is never mixed.
+void mix_operand(support::StateHasher& h, const mcapi::Program& program,
+                 const encode::Operand& op) {
+  h.mix(kTagOperand);
+  h.mix(static_cast<std::uint64_t>(op.is_var));
+  h.mix_signed(op.k);
+  if (!op.is_var) return;
+  h.mix(op.thread);
+  mcapi::LocalSlot slot = mcapi::kNoSlot;
+  if (op.thread < program.num_threads()) {
+    const auto& names = program.thread(op.thread).slot_names;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == op.var) {
+        slot = static_cast<mcapi::LocalSlot>(i);
+        break;
+      }
+    }
+  }
+  if (slot != mcapi::kNoSlot) {
+    h.mix(slot);
+  } else {
+    // Unresolvable names cannot be canonicalized; fall back to spelling so
+    // distinct unknowns at least stay distinct.
+    mix_string(h, op.var);
+  }
+}
+
+/// The semantic request configuration: everything that can change which
+/// report is correct. Wall clock (budget.max_seconds), workers, and the
+/// progress callback are deliberately absent — they only affect how fast
+/// the answer arrives (reports are pinned worker-count-invariant).
+void mix_request(support::StateHasher& h, const VerifyRequest& req) {
+  h.mix(kTagConfig);
+  h.mix(static_cast<std::uint64_t>(req.engine));
+  h.mix(static_cast<std::uint64_t>(req.mode));
+  h.mix(req.trace_seed);
+  h.mix(req.traces);
+  h.mix(static_cast<std::uint64_t>(req.round_robin));
+  h.mix(static_cast<std::uint64_t>(req.check_dpor_modes));
+  h.mix(static_cast<std::uint64_t>(req.replay_witnesses));
+  // Non-wall-clock budgets gate how much of the state space an engine may
+  // visit; only complete runs are cached, but a skipped symbolic trace
+  // (max_run_steps) is not "truncation", so budgets stay in the key.
+  h.mix(req.budget.max_states);
+  h.mix(req.budget.max_transitions);
+  h.mix(req.budget.solver_conflicts);
+  h.mix(req.budget.max_run_steps);
+  const SymbolicOptions& so = req.symbolic;
+  h.mix(static_cast<std::uint64_t>(so.match_gen));
+  h.mix(so.conflict_budget);
+  h.mix(so.max_matchings);
+  h.mix(static_cast<std::uint64_t>(so.overapprox.prune_program_order));
+  const encode::EncodeOptions& eo = so.encode;
+  h.mix(static_cast<std::uint64_t>(eo.fifo_non_overtaking));
+  h.mix(static_cast<std::uint64_t>(eo.delay_ignorant));
+  h.mix(static_cast<std::uint64_t>(eo.unique_all_pairs));
+  h.mix(static_cast<std::uint64_t>(eo.unique_ladder));
+  h.mix(static_cast<std::uint64_t>(eo.fifo_chain));
+  h.mix(static_cast<std::uint64_t>(eo.anchor_nb_at_wait));
+  h.mix(static_cast<std::uint64_t>(eo.order_endpoint_completions));
+  h.mix(static_cast<std::uint64_t>(eo.initial_locals_zero));
+  h.mix(static_cast<std::uint64_t>(eo.property_mode));
+  h.mix(static_cast<std::uint64_t>(eo.defer_assertions));
+}
+
+support::Hash128 build_key(const mcapi::Program& program,
+                           const std::vector<encode::Property>& properties,
+                           const VerifyRequest& request) {
+  support::StateHasher h;
+  const support::Hash128 pf = mcapi::canonical_fingerprint(program);
+  h.mix(pf.lo);
+  h.mix(pf.hi);
+  h.mix(kTagProperties);
+  h.mix(properties.size());
+  for (const encode::Property& p : properties) {
+    mix_operand(h, program, p.lhs);
+    h.mix(static_cast<std::uint64_t>(p.rel));
+    mix_operand(h, program, p.rhs);
+    // Labels are presentation, but they appear verbatim in violation
+    // reports — two requests differing only in labels must not share a
+    // cached document.
+    mix_string(h, p.label);
+  }
+  mix_request(h, request);
+  return h.digest();
+}
+
+int verdict_exit(Verdict v) {
+  switch (v) {
+    case Verdict::kSafe: return 0;
+    case Verdict::kViolation:
+    case Verdict::kDeadlock: return 1;
+    case Verdict::kBudgetExhausted:
+    case Verdict::kUnknown: return 3;
+  }
+  return 3;
+}
+
+/// Only definitive, complete answers are cacheable: a budget-starved or
+/// cancelled report depends on how much work the budget bought, and must
+/// never shadow the real verdict for a later (maybe better-funded) request.
+bool cacheable(const VerifyReport& report) {
+  if (report.cancelled) return false;
+  if (report.verdict != Verdict::kSafe && report.verdict != Verdict::kViolation &&
+      report.verdict != Verdict::kDeadlock) {
+    return false;
+  }
+  for (const EngineRun& run : report.engines) {
+    if (run.truncated) return false;
+  }
+  return true;
+}
+
+struct ParsedRequest {
+  bool ok = false;
+  std::string error;
+  text::ParsedProgram unit;
+  std::vector<encode::Property> properties;
+};
+
+ParsedRequest parse_request(std::string_view source,
+                            const std::vector<std::string>& extra_properties) {
+  ParsedRequest pr;
+  text::ParseOutcome out = text::parse_program(source);
+  if (!out.ok()) {
+    pr.error = out.error_text();
+    return pr;
+  }
+  pr.unit = std::move(*out.parsed);
+  pr.properties = pr.unit.properties;
+  for (const std::string& text : extra_properties) {
+    auto prop = text::parse_property(pr.unit.program, text);
+    if (!prop.ok()) {
+      pr.error = "bad property '" + text + "':";
+      for (const auto& d : prop.diagnostics) pr.error += " " + d.message;
+      return pr;
+    }
+    pr.properties.push_back(std::move(*prop.property));
+  }
+  pr.ok = true;
+  return pr;
+}
+
+}  // namespace
+
+VerifierService::VerifierService(Options options) : options_(options) {}
+
+void VerifierService::clear_cache() {
+  cache_.clear();
+  lru_.clear();
+}
+
+void VerifierService::touch(Entry& entry, const support::Hash128& key) {
+  lru_.erase(entry.lru);
+  lru_.push_front(key);
+  entry.lru = lru_.begin();
+}
+
+void VerifierService::store(const support::Hash128& key, Entry entry) {
+  if (options_.cache_capacity == 0) return;
+  while (cache_.size() >= options_.cache_capacity) {
+    const support::Hash128 victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+    ++stats_.cache_evictions;
+  }
+  lru_.push_front(key);
+  entry.lru = lru_.begin();
+  cache_.emplace(key, std::move(entry));
+  ++stats_.cache_stores;
+}
+
+VerifierService::KeyResult VerifierService::cache_key(
+    std::string_view source, const VerifyRequest& request,
+    const std::vector<std::string>& extra_properties) const {
+  KeyResult kr;
+  ParsedRequest pr = parse_request(source, extra_properties);
+  if (!pr.ok) return kr;
+  kr.ok = true;
+  kr.key = build_key(pr.unit.program, pr.properties, request);
+  return kr;
+}
+
+VerifierService::Reply VerifierService::verify_source(
+    std::string_view source, const VerifyRequest& request,
+    const std::vector<std::string>& extra_properties) {
+  const support::Stopwatch timer;
+  ++stats_.requests;
+  Reply reply;
+
+  ParsedRequest pr = parse_request(source, extra_properties);
+  if (!pr.ok) {
+    ++stats_.parse_errors;
+    reply.error = std::move(pr.error);
+    reply.exit_code = 2;
+    reply.seconds = timer.seconds();
+    return reply;
+  }
+  reply.ok = true;
+  reply.name = pr.unit.name;
+
+  const support::Hash128 key =
+      build_key(pr.unit.program, pr.properties, request);
+  if (options_.cache_capacity > 0) {
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++stats_.cache_hits;
+      touch(it->second, key);
+      reply.cache_hit = true;
+      reply.verdict = it->second.verdict;
+      reply.exit_code = it->second.exit_code;
+      reply.report_json = it->second.report_json;  // byte-identical document
+      reply.seconds = timer.seconds();
+      return reply;
+    }
+  }
+
+  ++stats_.cache_misses;
+  VerifyRequest req = request;
+  req.properties = pr.properties;
+  const VerifyReport report = verifier_.verify(pr.unit.program, req);
+  reply.cancelled = report.cancelled;
+  reply.verdict = report.verdict;
+  reply.exit_code = verdict_exit(report.verdict);
+  reply.report_json = report_to_json(report);
+  if (cacheable(report)) {
+    Entry entry;
+    entry.report_json = reply.report_json;
+    entry.verdict = reply.verdict;
+    entry.exit_code = reply.exit_code;
+    entry.name = reply.name;
+    store(key, std::move(entry));
+  }
+  reply.seconds = timer.seconds();
+  return reply;
+}
+
+}  // namespace mcsym::check

@@ -1,0 +1,122 @@
+// Verification as a service: the session layer above Verifier::verify.
+//
+// The engines answer one program per call and stay ignorant of traffic
+// shape (the SimGrid mc_api precedent); this layer owns what repeated
+// traffic needs. One VerifierService instance serves many requests —
+// `mcsym verify --batch` drives it across a manifest, `mcsym serve` keeps
+// one alive for a long-running stdio request loop — reusing the Verifier
+// and, above all, a content-addressed verdict cache:
+//
+//  * The key canonicalizes the PROGRAM (mcapi::canonical_fingerprint —
+//    alpha-renamed threads/endpoints/locals hash identically, any
+//    structural or data change does not), the PROPERTIES (variable names
+//    resolved to slots; labels included, they appear in reports), and the
+//    semantic REQUEST CONFIG (engine, delivery mode, trace plan, encoding
+//    knobs, non-wall-clock budgets). Wall-clock budget, worker count, and
+//    the progress callback are excluded: they change how fast an answer
+//    arrives, never which answer is correct.
+//  * Only definitive, complete verdicts are cached (safe / violation /
+//    deadlock, not cancelled, no engine truncated), so a budget-starved
+//    answer can never shadow a real one.
+//  * A hit returns the stored mcsym.verify/1 JSON byte-for-byte (the
+//    stored text IS the miss's serialization — timing fields show the
+//    original run) without constructing a single engine. An LRU bound
+//    keeps a long-lived server's memory flat.
+//
+// The per-request mcsym.verify/1 contract is unchanged; service-level
+// counters (hits/misses/stores) ride in the Reply and the CLI's envelope
+// lines, never inside the report.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "check/verifier.hpp"
+#include "support/hash.hpp"
+
+namespace mcsym::check {
+
+class VerifierService {
+ public:
+  struct Options {
+    /// Cached verdicts kept (LRU eviction). 0 disables the cache.
+    std::size_t cache_capacity = 256;
+  };
+
+  /// Outcome of one service request. `report_json` always carries the full
+  /// mcsym.verify/1 document when ok — on a cache hit it is byte-identical
+  /// to the serialization stored by the original miss.
+  struct Reply {
+    bool ok = false;        // false: source failed to parse (see error)
+    bool cache_hit = false;
+    bool cancelled = false;
+    Verdict verdict = Verdict::kUnknown;
+    /// CLI exit-code contract: 0 safe, 1 violation/deadlock, 2 input
+    /// error, 3 budget exhausted / no verdict.
+    int exit_code = 2;
+    double seconds = 0;      // wall clock spent serving this request
+    std::string name;        // program name from the source text
+    std::string error;       // parse diagnostics when !ok
+    std::string report_json; // mcsym.verify/1 (empty when !ok)
+  };
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t parse_errors = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;  // served by running the engines
+    std::uint64_t cache_stores = 0;  // fresh verdicts that were cacheable
+    std::uint64_t cache_evictions = 0;
+  };
+
+  VerifierService() : VerifierService(Options()) {}
+  explicit VerifierService(Options options);
+
+  /// Serves one request: parses `.mcp` source text, consults the cache,
+  /// and runs the engines only on a miss. `request.properties` is replaced
+  /// by the source's `property` lines plus `extra_properties` (parsed
+  /// against the program, as the CLI's --property); every other request
+  /// field is honored as Verifier::verify would.
+  Reply verify_source(std::string_view source, const VerifyRequest& request,
+                      const std::vector<std::string>& extra_properties = {});
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  void clear_cache();
+
+  /// The cache key of one (source, request) pairing — exposed so tests can
+  /// pin canonicalization (alpha-renames collide, mutants separate)
+  /// without going through a full verification. ok=false when the source
+  /// does not parse.
+  struct KeyResult {
+    bool ok = false;
+    support::Hash128 key;
+  };
+  [[nodiscard]] KeyResult cache_key(
+      std::string_view source, const VerifyRequest& request,
+      const std::vector<std::string>& extra_properties = {}) const;
+
+ private:
+  struct Entry {
+    std::string report_json;
+    Verdict verdict = Verdict::kUnknown;
+    int exit_code = 3;
+    std::string name;
+    std::list<support::Hash128>::iterator lru;  // position in lru_ (MRU front)
+  };
+
+  void touch(Entry& entry, const support::Hash128& key);
+  void store(const support::Hash128& key, Entry entry);
+
+  Options options_;
+  Verifier verifier_;
+  Stats stats_;
+  std::unordered_map<support::Hash128, Entry> cache_;
+  std::list<support::Hash128> lru_;  // front = most recently used
+};
+
+}  // namespace mcsym::check

@@ -1,0 +1,84 @@
+#include "mcapi/canonical.hpp"
+
+#include <cstdint>
+
+#include "support/assert.hpp"
+
+namespace mcsym::mcapi {
+
+namespace {
+
+// Section/field tags keep adjacent integer streams from aliasing (e.g. a
+// thread with one extra instruction vs. an endpoint with a shifted port):
+// every section is introduced by a distinct tag and its length.
+enum Tag : std::uint64_t {
+  kTagThread = 0x7481cf00,
+  kTagInstr,
+  kTagExpr,
+  kTagCond,
+  kTagEndpoint,
+  kTagReqList,
+};
+
+}  // namespace
+
+void canonical_mix_expr(support::StateHasher& h, const ValueExpr& expr) {
+  h.mix(kTagExpr);
+  h.mix(static_cast<std::uint64_t>(expr.kind));
+  // The resolved slot is the canonical identity of a variable; the Symbol
+  // spelling is exactly what alpha-renaming changes, so it is never mixed.
+  h.mix(expr.kind == ValueExpr::Kind::kConst ? kNoSlot : expr.slot);
+  h.mix_signed(expr.kind == ValueExpr::Kind::kVar ? 0 : expr.k);
+}
+
+void canonical_mix_cond(support::StateHasher& h, const Cond& cond) {
+  h.mix(kTagCond);
+  canonical_mix_expr(h, cond.lhs);
+  h.mix(static_cast<std::uint64_t>(cond.rel));
+  canonical_mix_expr(h, cond.rhs);
+}
+
+support::Hash128 canonical_fingerprint(const Program& program) {
+  MCSYM_ASSERT_MSG(program.finalized(),
+                   "canonical_fingerprint requires a finalized program "
+                   "(slots and jump targets must be resolved)");
+  support::StateHasher h;
+
+  h.mix(program.num_threads());
+  for (ThreadRef t = 0; t < program.num_threads(); ++t) {
+    const Program::Thread& th = program.thread(t);
+    h.mix(kTagThread);
+    h.mix(th.num_slots);
+    h.mix(th.num_requests);
+    h.mix(th.code.size());
+    for (const Instr& in : th.code) {
+      h.mix(kTagInstr);
+      h.mix(static_cast<std::uint64_t>(in.kind));
+      // Endpoint identities are positional refs (creation order), not
+      // names, so they survive renames and distinguish rewiring.
+      h.mix(in.src);
+      h.mix(in.dst);
+      h.mix(in.var_slot);
+      canonical_mix_expr(h, in.expr);
+      canonical_mix_cond(h, in.cond);
+      h.mix(in.target);
+      h.mix(in.req);
+      h.mix(kTagReqList);
+      h.mix(in.reqs.size());
+      for (const std::uint32_t r : in.reqs) h.mix(r);
+    }
+  }
+
+  h.mix(program.num_endpoints());
+  for (EndpointRef e = 0; e < program.num_endpoints(); ++e) {
+    const Program::Endpoint& ep = program.endpoint(e);
+    h.mix(kTagEndpoint);
+    h.mix(ep.node);
+    h.mix(ep.port);
+    h.mix(ep.owner);
+  }
+
+  return h.digest();
+}
+
+}  // namespace mcsym::mcapi

@@ -1,0 +1,41 @@
+// Canonical (alpha-renaming-invariant) program fingerprints.
+//
+// The verdict cache in src/check/service.hpp keys cached reports by
+// program CONTENT, where content deliberately excludes every name the
+// author chose: two programs that differ only in thread, endpoint, or
+// local-variable spellings describe the same verification problem and must
+// hash identically, while any structural or data difference — instruction
+// kinds or order, endpoint wiring, payload constants, condition shapes,
+// jump targets, request slots — must change the fingerprint.
+//
+// This works because finalize() already resolves every name to a
+// positional identity: local names become slots (assigned in order of
+// first appearance, so a bijective rename preserves them), endpoint names
+// are carried alongside positional EndpointRef indices and auto-assigned
+// node/port ids, and thread names alongside ThreadRef indices. The
+// fingerprint walks exactly those resolved structures and never touches a
+// Symbol or std::string, so renaming cannot reach it.
+#pragma once
+
+#include "mcapi/program.hpp"
+#include "support/hash.hpp"
+
+namespace mcsym::mcapi {
+
+/// Structural content fingerprint of a finalized program. Invariant under
+/// any renaming of threads, endpoints, and locals; sensitive to every
+/// structural and data difference (see file comment). Two 64-bit FNV-1a
+/// lanes (support::StateHasher), so accidental collisions are out of reach
+/// for any realistic cache population.
+[[nodiscard]] support::Hash128 canonical_fingerprint(const Program& program);
+
+/// Mixes the canonical form of one value expression into `h`: kind, the
+/// resolved slot (kNoSlot for constants), and the constant/offset. The
+/// spelling Symbol is never touched. Exposed so higher layers (the service
+/// cache key) canonicalize conditions and properties the same way.
+void canonical_mix_expr(support::StateHasher& h, const ValueExpr& expr);
+
+/// Mixes the canonical form of a condition (lhs, rel, rhs) into `h`.
+void canonical_mix_cond(support::StateHasher& h, const Cond& cond);
+
+}  // namespace mcsym::mcapi

@@ -262,7 +262,7 @@ TEST(CliTest, VerifyExitCodeContract) {
   // 2: usage error (unknown engine).
   const CliResult usage = run_cli("verify " + figure1() + " --engine=bogus");
   EXPECT_EQ(usage.exit_code, 2);
-  EXPECT_NE(usage.output.find("unknown --engine"), std::string::npos);
+  EXPECT_NE(usage.output.find("unknown engine"), std::string::npos);
 
   // 3: budget exhausted before a verdict.
   const CliResult budget =
@@ -315,6 +315,109 @@ TEST(CliTest, SeedSelectsDifferentSchedules) {
   const CliResult b = run_cli("check " + figure1() + " --seed 99");
   EXPECT_EQ(a.exit_code, 1);
   EXPECT_EQ(b.exit_code, 1);
+}
+
+TEST(CliTest, BatchVerifiesManifestWithSharedCache) {
+  const std::string manifest = testing::TempDir() + "/mcsym_manifest.txt";
+  {
+    std::ofstream out(manifest);
+    out << "# repeated entries share one verdict cache\n"
+        << figure1() << "\n"
+        << figure1() << "\n"
+        << "/nonexistent/path.mcp\n";
+  }
+  const CliResult r = run_cli("verify " + manifest + " --batch");
+  // Worst entry wins: the unreadable path dominates the two safe verdicts.
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("\"schema\":\"mcsym.batch/1\""), std::string::npos);
+  // The second identical entry must be served from the cache.
+  EXPECT_NE(r.output.find("\"cache_hit\":true"), std::string::npos);
+  EXPECT_NE(r.output.find("\"cache_hits\":1"), std::string::npos);
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos);
+  EXPECT_NE(r.output.find("\"summary\":true"), std::string::npos);
+
+  // --no-cache turns hits off without changing verdicts or exit codes.
+  const CliResult cold = run_cli("verify " + manifest + " --batch --no-cache");
+  EXPECT_EQ(cold.exit_code, 2);
+  EXPECT_EQ(cold.output.find("\"cache_hit\":true"), std::string::npos);
+}
+
+TEST(CliTest, ServeAnswersRepeatsMalformedAndExhaustionWithoutExiting) {
+  // One scripted session exercises the whole protocol: a fresh request, a
+  // repeat (cache hit), an unknown command, a bad header, an unparseable
+  // program, a starved budget — the loop must answer each and only exit
+  // at `quit`, with code 0.
+  std::ifstream example(figure1());
+  ASSERT_TRUE(example.good());
+  const std::string program((std::istreambuf_iterator<char>(example)),
+                            std::istreambuf_iterator<char>());
+  const std::string requests = testing::TempDir() + "/mcsym_serve_in.txt";
+  {
+    std::ofstream out(requests);
+    out << "verify id=first\n" << program << ".\n";
+    out << "verify id=again\n" << program << ".\n";
+    out << "bogus\n";
+    out << "verify not-an-option\n" << program << ".\n";
+    out << "verify id=broken\nthread t0\n  garbage\n.\n";
+    out << "verify id=starved max-transitions=1\n" << program << ".\n";
+    out << "stats\n";
+    out << "quit\n";
+  }
+  const CliResult r = run_cli("serve < " + requests);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"schema\":\"mcsym.serve/1\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"id\":\"first\",\"ok\":true"), std::string::npos);
+  // The repeat is a cache hit; the starved request (different budget =
+  // different key) is answered with exit 3 and does not kill the server.
+  EXPECT_NE(r.output.find("\"id\":\"again\",\"ok\":true,"), std::string::npos);
+  EXPECT_NE(r.output.find("\"cache_hit\":true"), std::string::npos);
+  EXPECT_NE(r.output.find("unknown command 'bogus'"), std::string::npos);
+  EXPECT_NE(r.output.find("malformed option 'not-an-option'"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("\"id\":\"broken\",\"ok\":false"), std::string::npos);
+  EXPECT_NE(r.output.find("\"verdict\":\"budget-exhausted\""),
+            std::string::npos);
+  EXPECT_NE(r.output.find("\"exit\":3"), std::string::npos);
+  EXPECT_NE(r.output.find("\"stats\":true"), std::string::npos);
+  // The stats line counts exactly one hit and the three engine runs.
+  EXPECT_NE(r.output.find("\"cache_hits\":1"), std::string::npos);
+}
+
+TEST(CliTest, ServeTimeoutCancelsViaTheProgressPath) {
+  // A sub-microsecond timeout cancels even figure1: the reply must be a
+  // budget-exhausted envelope (exit 3), and the server must keep serving.
+  std::ifstream example(figure1());
+  const std::string program((std::istreambuf_iterator<char>(example)),
+                            std::istreambuf_iterator<char>());
+  const std::string requests = testing::TempDir() + "/mcsym_serve_to.txt";
+  {
+    std::ofstream out(requests);
+    out << "verify id=t1 timeout=0.0000001 engine=portfolio traces=3\n"
+        << program << ".\n";
+    out << "verify id=t2\n" << program << ".\n";
+    out << "quit\n";
+  }
+  const CliResult r = run_cli("serve < " + requests);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"id\":\"t1\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"cancelled\":true"), std::string::npos);
+  EXPECT_NE(r.output.find("\"id\":\"t2\",\"ok\":true"), std::string::npos);
+}
+
+TEST(CliTest, ServeJsonOptionAppendsTheReport) {
+  std::ifstream example(figure1());
+  const std::string program((std::istreambuf_iterator<char>(example)),
+                            std::istreambuf_iterator<char>());
+  const std::string requests = testing::TempDir() + "/mcsym_serve_json.txt";
+  {
+    std::ofstream out(requests);
+    out << "verify id=j1 json=1\n" << program << ".\nquit\n";
+  }
+  const CliResult r = run_cli("serve < " + requests);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"schema\": \"mcsym.verify/1\""),
+            std::string::npos)
+      << r.output;
 }
 
 }  // namespace

@@ -1,0 +1,389 @@
+// VerifierService: the content-addressed verdict cache and its
+// canonicalization contract.
+//
+// The load-bearing properties, each pinned here:
+//  * alpha-renaming invariance — renaming every identifier in a program's
+//    source (threads, endpoints, locals, labels) leaves the cache key
+//    unchanged, across a seeded random-program battery;
+//  * semantic sensitivity — flipping one payload constant or reordering
+//    two distinct sends changes the key (a cache hit must never cross a
+//    behavioral difference);
+//  * byte-identical hits — a cache hit returns exactly the bytes the miss
+//    serialized, and is ≥10x faster than running the engines;
+//  * only definitive complete verdicts are stored (no budget-exhausted or
+//    cancelled entries), and the LRU bound holds.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "check/random_program.hpp"
+#include "check/service.hpp"
+#include "check/verifier.hpp"
+#include "mcapi/canonical.hpp"
+#include "support/env.hpp"
+#include "text/program_text.hpp"
+
+namespace mcsym::check {
+namespace {
+
+/// Grammar keywords of the .mcp format; every other identifier token is an
+/// author-chosen name that alpha-renaming may replace.
+bool is_keyword(const std::string& word) {
+  static const std::unordered_set<std::string> kKeywords = {
+      "program", "thread", "endpoint", "send",   "recv",     "recv_i",
+      "test",    "wait",   "wait_any", "assign", "label",    "if",
+      "goto",    "assert", "nop",      "property", "req",
+  };
+  return kKeywords.contains(word);
+}
+
+/// Renames every non-keyword identifier in `.mcp` source text to a fresh
+/// `zz<k>` name, consistently (same spelling -> same replacement). This is
+/// a whole-program bijective alpha-renaming: threads, endpoints, locals,
+/// and labels all change spelling, nothing else does. Quoted strings
+/// (property labels) are left alone — labels are report content, not names.
+std::string alpha_rename(const std::string& source) {
+  std::string out;
+  out.reserve(source.size());
+  std::unordered_map<std::string, std::string> renamed;
+  std::size_t i = 0;
+  bool in_quote = false;
+  while (i < source.size()) {
+    const char c = source[i];
+    if (in_quote) {
+      out += c;
+      if (c == '"') in_quote = false;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_quote = true;
+      out += c;
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line: copy verbatim
+      while (i < source.size() && source[i] != '\n') out += source[i++];
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[j])) ||
+              source[j] == '_')) {
+        ++j;
+      }
+      const std::string word = source.substr(i, j - i);
+      if (is_keyword(word)) {
+        out += word;
+      } else {
+        auto it = renamed.find(word);
+        if (it == renamed.end()) {
+          it = renamed.emplace(word, "zz" + std::to_string(renamed.size()))
+                   .first;
+        }
+        out += it->second;
+      }
+      i = j;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+/// Flips the last integer literal of the first `send` line (the payload
+/// constant or expression offset). Empty string when the text has no send.
+std::string flip_payload(const std::string& source) {
+  std::size_t line_start = 0;
+  while (line_start < source.size()) {
+    std::size_t line_end = source.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = source.size();
+    std::string line = source.substr(line_start, line_end - line_start);
+    std::size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line.compare(first, 5, "send ") == 0) {
+      // Find the last digit run on the line and bump it.
+      std::size_t d = line.find_last_of("0123456789");
+      if (d != std::string::npos) {
+        std::size_t s = d;
+        while (s > 0 && std::isdigit(static_cast<unsigned char>(line[s - 1]))) {
+          --s;
+        }
+        const int value = std::stoi(line.substr(s, d - s + 1));
+        line = line.substr(0, s) + std::to_string(value + 1) +
+               line.substr(d + 1);
+        return source.substr(0, line_start) + line + source.substr(line_end);
+      }
+    }
+    line_start = line_end + 1;
+  }
+  return {};
+}
+
+/// Swaps the first pair of adjacent, textually distinct `send` lines
+/// (different destination or payload, so the swap is a real behavioral
+/// reordering). Empty string when no such pair exists.
+std::string swap_adjacent_sends(const std::string& source) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t end = source.find('\n', pos);
+    if (end == std::string::npos) {
+      lines.push_back(source.substr(pos));
+      break;
+    }
+    lines.push_back(source.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  auto is_send = [](const std::string& line) {
+    const std::size_t first = line.find_first_not_of(" \t");
+    return first != std::string::npos && line.compare(first, 5, "send ") == 0;
+  };
+  for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+    if (is_send(lines[i]) && is_send(lines[i + 1]) &&
+        lines[i] != lines[i + 1]) {
+      std::swap(lines[i], lines[i + 1]);
+      std::string out;
+      for (std::size_t k = 0; k < lines.size(); ++k) {
+        out += lines[k];
+        if (k + 1 < lines.size()) out += '\n';
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+TEST(ServiceCacheKey, AlphaRenamesHitMutantsMiss) {
+  VerifierService service;
+  VerifyRequest req;
+  const std::uint64_t seeds = support::env_u64("MCSYM_TEST_ITERS", 40);
+  std::uint64_t renamed_checked = 0;
+  std::uint64_t payload_checked = 0;
+  std::uint64_t reorder_checked = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    RandomProgramOptions opts;
+    opts.threads = 3;
+    opts.allow_nonblocking = (seed % 2) == 0;
+    opts.allow_wait_any = (seed % 3) == 0;
+    opts.add_asserts = (seed % 2) == 1;
+    const mcapi::Program program = random_program(seed, opts);
+    const std::string text = text::program_to_text(program, {}, "unit");
+    const auto base = service.cache_key(text, req);
+    ASSERT_TRUE(base.ok) << text;
+
+    const std::string renamed = alpha_rename(text);
+    ASSERT_NE(renamed, text) << "rename was a no-op for seed " << seed;
+    const auto renamed_key = service.cache_key(renamed, req);
+    ASSERT_TRUE(renamed_key.ok) << renamed;
+    EXPECT_EQ(base.key, renamed_key.key)
+        << "alpha-renaming changed the key for seed " << seed << "\n"
+        << text << "\n--- renamed ---\n"
+        << renamed;
+    ++renamed_checked;
+
+    if (const std::string flipped = flip_payload(text); !flipped.empty()) {
+      const auto flipped_key = service.cache_key(flipped, req);
+      ASSERT_TRUE(flipped_key.ok) << flipped;
+      EXPECT_NE(base.key, flipped_key.key)
+          << "payload flip kept the key for seed " << seed << "\n"
+          << flipped;
+      ++payload_checked;
+    }
+    if (const std::string swapped = swap_adjacent_sends(text);
+        !swapped.empty()) {
+      const auto swapped_key = service.cache_key(swapped, req);
+      ASSERT_TRUE(swapped_key.ok) << swapped;
+      EXPECT_NE(base.key, swapped_key.key)
+          << "send reorder kept the key for seed " << seed << "\n"
+          << swapped;
+      ++reorder_checked;
+    }
+  }
+  // The battery must actually exercise each direction, not vacuously pass.
+  EXPECT_EQ(renamed_checked, seeds);
+  EXPECT_GT(payload_checked, 0u);
+  EXPECT_GT(reorder_checked, 0u);
+}
+
+TEST(ServiceCacheKey, FingerprintMatchesDirectCanonicalHash) {
+  // cache_key is built on mcapi::canonical_fingerprint; sanity-pin the
+  // underlying fingerprint's rename invariance without the service layer.
+  const mcapi::Program program = random_program(7);
+  const std::string text = text::program_to_text(program, {}, "unit");
+  const auto reparsed = text::parse_program(alpha_rename(text));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(mcapi::canonical_fingerprint(program),
+            mcapi::canonical_fingerprint(reparsed.parsed->program));
+}
+
+TEST(ServiceCacheKey, SemanticConfigSeparatesSpeedKnobsDoNot) {
+  VerifierService service;
+  const mcapi::Program program = random_program(3);
+  const std::string text = text::program_to_text(program, {}, "unit");
+
+  VerifyRequest base;
+  const auto k0 = service.cache_key(text, base);
+  ASSERT_TRUE(k0.ok);
+
+  // Engine, budgets, and encoding knobs change which answer is computed.
+  VerifyRequest other = base;
+  other.engine = Engine::kSymbolic;
+  EXPECT_NE(k0.key, service.cache_key(text, other).key);
+  other = base;
+  other.budget.max_transitions = 17;
+  EXPECT_NE(k0.key, service.cache_key(text, other).key);
+  other = base;
+  other.symbolic.encode.fifo_non_overtaking = false;
+  EXPECT_NE(k0.key, service.cache_key(text, other).key);
+  other = base;
+  other.trace_seed = 99;
+  EXPECT_NE(k0.key, service.cache_key(text, other).key);
+
+  // Workers and wall clock only change how fast it is computed.
+  other = base;
+  other.workers = 8;
+  other.budget.max_seconds = 123.0;
+  EXPECT_EQ(k0.key, service.cache_key(text, other).key);
+}
+
+TEST(ServiceCacheKey, PropertyLabelsAndOperandsAreKeyed) {
+  VerifierService service;
+  const mcapi::Program program = random_program(5);
+  const std::string text = text::program_to_text(program, {}, "unit");
+  VerifyRequest req;
+  const auto plain = service.cache_key(text, req);
+  ASSERT_TRUE(plain.ok);
+  // random_program names its threads rt0... with locals v0/acc; build a
+  // property against the first thread's first local.
+  const std::string var = program.thread(0).slot_names.empty()
+                              ? std::string()
+                              : std::string(program.thread(0).slot_names[0]);
+  if (var.empty()) GTEST_SKIP() << "seed produced a thread with no locals";
+  const std::string body = program.thread(0).name + "." + var + " == 1";
+  const auto with_prop = service.cache_key(text, req, {body});
+  ASSERT_TRUE(with_prop.ok);
+  EXPECT_NE(plain.key, with_prop.key);
+  // Labels appear in reports, so label-only differences must separate too.
+  const auto labeled =
+      service.cache_key(text, req, {"\"pinned\" " + body});
+  ASSERT_TRUE(labeled.ok);
+  EXPECT_NE(with_prop.key, labeled.key);
+}
+
+TEST(ServiceCache, HitIsByteIdenticalAndFast) {
+  VerifierService service;
+  RandomProgramOptions opts;
+  opts.threads = 4;
+  opts.add_asserts = true;
+  const mcapi::Program program = random_program(11, opts);
+  const std::string text = text::program_to_text(program, {}, "unit");
+  VerifyRequest req;
+  req.engine = Engine::kDporOptimal;
+
+  const auto miss = service.verify_source(text, req);
+  ASSERT_TRUE(miss.ok) << miss.error;
+  EXPECT_FALSE(miss.cache_hit);
+  ASSERT_EQ(service.stats().cache_stores, 1u);
+
+  const auto hit = service.verify_source(text, req);
+  ASSERT_TRUE(hit.ok);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.verdict, miss.verdict);
+  EXPECT_EQ(hit.exit_code, miss.exit_code);
+  // The contract: the stored document IS the miss's serialization, byte
+  // for byte — timing fields show the original run, nothing is recomputed.
+  EXPECT_EQ(hit.report_json, miss.report_json);
+
+  // A hit re-parses the source and looks up a hash; it never constructs an
+  // engine. The pinned floor is 10x, with the battery's program chosen big
+  // enough that the real ratio is orders of magnitude beyond it.
+  EXPECT_GE(miss.seconds, 10 * hit.seconds)
+      << "miss " << miss.seconds << "s vs hit " << hit.seconds << "s";
+
+  // An alpha-renamed resubmission is the same cached problem.
+  const auto renamed_hit = service.verify_source(alpha_rename(text), req);
+  ASSERT_TRUE(renamed_hit.ok) << renamed_hit.error;
+  EXPECT_TRUE(renamed_hit.cache_hit);
+  EXPECT_EQ(renamed_hit.report_json, miss.report_json);
+  EXPECT_EQ(service.stats().cache_hits, 2u);
+  EXPECT_EQ(service.stats().cache_misses, 1u);
+}
+
+TEST(ServiceCache, IndefiniteVerdictsAreNotStored) {
+  VerifierService service;
+  RandomProgramOptions opts;
+  opts.threads = 4;
+  const mcapi::Program program = random_program(13, opts);
+  const std::string text = text::program_to_text(program, {}, "unit");
+  VerifyRequest req;
+  req.engine = Engine::kDporOptimal;
+  req.budget.max_transitions = 1;  // guarantees exhaustion on this program
+
+  const auto starved = service.verify_source(text, req);
+  ASSERT_TRUE(starved.ok);
+  EXPECT_EQ(starved.verdict, Verdict::kBudgetExhausted);
+  EXPECT_EQ(starved.exit_code, 3);
+  EXPECT_EQ(service.cache_size(), 0u);
+  EXPECT_EQ(service.stats().cache_stores, 0u);
+
+  // The same request again runs the engines again — and a later
+  // better-funded request gets the real verdict, not the starved one.
+  const auto again = service.verify_source(text, req);
+  EXPECT_FALSE(again.cache_hit);
+  req.budget.max_transitions = 0;
+  VerifyRequest funded;
+  funded.engine = Engine::kDporOptimal;
+  const auto real = service.verify_source(text, funded);
+  ASSERT_TRUE(real.ok);
+  EXPECT_NE(real.verdict, Verdict::kBudgetExhausted);
+}
+
+TEST(ServiceCache, LruBoundEvictsOldest) {
+  VerifierService::Options options;
+  options.cache_capacity = 2;
+  VerifierService service(options);
+  VerifyRequest req;
+  std::vector<std::string> texts;
+  for (std::uint64_t seed = 21; seed < 24; ++seed) {
+    texts.push_back(
+        text::program_to_text(random_program(seed), {}, "unit"));
+  }
+  for (const auto& text : texts) {
+    ASSERT_TRUE(service.verify_source(text, req).ok);
+  }
+  EXPECT_EQ(service.cache_size(), 2u);
+  EXPECT_EQ(service.stats().cache_evictions, 1u);
+  // texts[0] was evicted; texts[1] and texts[2] still hit.
+  EXPECT_TRUE(service.verify_source(texts[2], req).cache_hit);
+  EXPECT_TRUE(service.verify_source(texts[1], req).cache_hit);
+  EXPECT_FALSE(service.verify_source(texts[0], req).cache_hit);
+
+  VerifierService::Options off;
+  off.cache_capacity = 0;
+  VerifierService uncached(off);
+  ASSERT_TRUE(uncached.verify_source(texts[0], req).ok);
+  EXPECT_FALSE(uncached.verify_source(texts[0], req).cache_hit);
+  EXPECT_EQ(uncached.cache_size(), 0u);
+}
+
+TEST(ServiceCache, ParseErrorsReportNotCrash) {
+  VerifierService service;
+  VerifyRequest req;
+  const auto reply = service.verify_source("thread t0\n  bogus\n", req);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.exit_code, 2);
+  EXPECT_FALSE(reply.error.empty());
+  EXPECT_TRUE(reply.report_json.empty());
+  EXPECT_EQ(service.stats().parse_errors, 1u);
+  EXPECT_EQ(service.cache_size(), 0u);
+}
+
+}  // namespace
+}  // namespace mcsym::check

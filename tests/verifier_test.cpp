@@ -425,7 +425,7 @@ TEST(VerifierJsonTest, GoldenViolationReport) {
   "witness_schedule": ["step(t1)", "step(t2)", "deliver(e2->e0)", "step(t0)", "step(t0)"],
   "deadlock_schedule": [],
   "engines": [
-    {"engine": "dpor", "verdict": "violation", "truncated": false, "seconds": 0.000000, "counters": {"transitions": 9, "executions": 2, "terminal_states": 1, "races_detected": 1, "wakeup_nodes": 1, "sleep_prunes": 0, "redundant_explorations": 0}}
+    {"engine": "dpor", "verdict": "violation", "truncated": false, "seconds": 0.000000, "counters": {"transitions": 11, "executions": 2, "terminal_states": 1, "races_detected": 1, "wakeup_nodes": 1, "sleep_prunes": 0, "redundant_explorations": 0}}
   ],
   "disagreements": [],
   "portfolio": null

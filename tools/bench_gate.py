@@ -31,7 +31,20 @@ of a write-only archive.
 
 import argparse
 import json
+import os
 import sys
+
+
+def annotate(level, message):
+    """Surface a skip/warning in the GitHub Actions UI, not just the log.
+
+    Outside Actions (no GITHUB_ACTIONS env) the plain message is printed,
+    so local runs read the same information without the :: markup.
+    """
+    if os.environ.get("GITHUB_ACTIONS"):
+        print(f"::{level}::{message}")
+    else:
+        print(f"{level}: {message}")
 
 
 def load_times(path):
@@ -91,13 +104,22 @@ def main():
     new_times = load_times(args.new_json)
 
     failed = False
+    compared = 0
+    skipped = []
     for name in benchmarks:
         if name not in new_times:
             print(f"FAIL {name}: missing from {args.new_json}")
             failed = True
             continue
         if name not in old_times:
-            print(f"skip {name}: no baseline in {args.old_json}")
+            # A skip means this series was NOT gated tonight. Say so where
+            # a reviewer will see it, instead of scrolling past a log line.
+            annotate(
+                "notice",
+                f"bench gate skipped {name}: no baseline in {args.old_json} "
+                "(expected on the first run after adding or renaming it)",
+            )
+            skipped.append(name)
             continue
         old, new = old_times[name], new_times[name]
         ratio = new / old if old > 0 else float("inf")
@@ -107,6 +129,7 @@ def main():
             f"({ratio:.2f}x, limit {args.max_ratio:.2f}x)"
         )
         failed |= ratio > args.max_ratio
+        compared += 1
 
     for spec in args.speedup:
         parts = spec.rsplit(":", 2)
@@ -129,6 +152,20 @@ def main():
             f"(floor {min_s:.2f}x)"
         )
         failed |= speedup < min_s
+
+    print(
+        f"summary: {compared} compared, {len(skipped)} skipped, "
+        f"{len(args.speedup)} speedup gate(s)"
+    )
+    if benchmarks and compared == 0 and not failed:
+        # Every named series was skipped: the gate ran but guarded nothing.
+        # Escalate to a warning so a missing/corrupt baseline artifact
+        # cannot masquerade as a green perf night.
+        annotate(
+            "warning",
+            f"bench gate compared nothing: all {len(skipped)} named "
+            f"benchmark(s) had no baseline in {args.old_json}",
+        )
     return 1 if failed else 0
 
 

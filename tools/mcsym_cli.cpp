@@ -12,6 +12,12 @@
 //   mcsym trace FILE      print the recorded trace, one event per line
 //   mcsym verify FILE     one-stop verification through the Verifier facade
 //                         (--engine selects symbolic/explicit/dpor/portfolio)
+//   mcsym verify --batch MANIFEST
+//                         verify every .mcp listed in MANIFEST through one
+//                         VerifierService (shared verdict cache), emitting a
+//                         JSON envelope line per entry
+//   mcsym serve           long-running stdio request loop over the same
+//                         service (see the protocol note above cmd_serve)
 //   mcsym check FILE      verify safety properties symbolically
 //   mcsym enumerate FILE  enumerate every feasible send/receive pairing
 //   mcsym smt FILE        emit the SMT problem as SMT-LIB2 text
@@ -33,6 +39,7 @@
 #include <vector>
 
 #include "check/diagnose.hpp"
+#include "check/service.hpp"
 #include "check/verifier.hpp"
 #include "mcapi/executor.hpp"
 #include "smt/smtlib.hpp"
@@ -44,15 +51,22 @@ namespace {
 
 using mcsym::check::SymbolicOptions;
 using mcsym::check::Verifier;
+using mcsym::check::VerifierService;
 using mcsym::text::ParseOutcome;
 
 constexpr const char* kUsage = R"(usage: mcsym COMMAND FILE.mcp [options]
+       mcsym verify --batch MANIFEST [options]
+       mcsym serve [options]
 
 commands:
   run        execute the program once on the simulated MCAPI runtime
   trace      record one execution and print its trace text
   verify     answer "can any execution violate a property or deadlock?"
              with a selectable engine (see --engine) and budgets
+  serve      read verification requests from stdin in a loop, sharing one
+             verdict cache across them; replies are JSON envelope lines
+             (protocol: `verify [k=v ...]` then program text then `.`;
+             also `stats` and `quit`)
   check      decide whether any execution consistent with the recorded
              trace violates a property (the paper's SMT pipeline)
   enumerate  enumerate every feasible send/receive pairing of the trace
@@ -65,6 +79,13 @@ verify options:
   --engine NAME        symbolic | explicit | dpor | dpor-sleepset | portfolio
                        (default dpor; --engine=NAME also accepted)
   --json               print the machine-readable report (mcsym.verify/1)
+  --batch              FILE is a manifest of .mcp paths (one per line, `#`
+                       comments); every entry is verified through one
+                       shared service and emits a mcsym.batch/1 envelope
+                       line (with --json followed by the full report);
+                       exit is the worst entry (2 > 1 > 3 > 0)
+  --cache N            verdict-cache capacity for --batch / serve
+                       (default 256); --no-cache disables caching
   --max-seconds S      joint wall-clock budget across all engines (default off)
   --max-states N       explicit-state budget (states expanded)
   --max-transitions N  DPOR budget (transitions executed)
@@ -128,6 +149,11 @@ struct Options {
   std::uint64_t conflicts = 0;
   std::uint32_t traces = 1;
   std::uint32_t workers = 1;
+  bool batch = false;
+  std::size_t cache_capacity = 256;  // --batch / serve verdict cache
+  // serve per-request only (set from `k=v` header options, not flags):
+  double timeout = 0;      // wall-clock seconds; cancels via the progress hook
+  std::string request_id;  // echoed back in the reply envelope
 };
 
 int fail(const std::string& message) {
@@ -137,10 +163,17 @@ int fail(const std::string& message) {
 
 std::optional<Options> parse_args(int argc, char** argv) {
   Options o;
-  if (argc < 3) return std::nullopt;
+  if (argc < 2) return std::nullopt;
   o.command = argv[1];
-  o.file = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  // `serve` reads programs from stdin and takes no FILE operand; every
+  // other command requires one.
+  int first = 2;
+  if (o.command != "serve") {
+    if (argc < 3) return std::nullopt;
+    o.file = argv[2];
+    first = 3;
+  }
+  for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
     if (a == "--seed") {
@@ -181,6 +214,14 @@ std::optional<Options> parse_args(int argc, char** argv) {
       o.engine = a.substr(9);
     } else if (a == "--json") {
       o.json = true;
+    } else if (a == "--batch") {
+      o.batch = true;
+    } else if (a == "--cache") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      o.cache_capacity = std::strtoull(v, nullptr, 10);
+    } else if (a == "--no-cache") {
+      o.cache_capacity = 0;
     } else if (a == "--max-seconds") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
@@ -345,15 +386,19 @@ int verdict_exit_code(mcsym::check::Verdict verdict) {
   return 3;
 }
 
-int cmd_verify(const Options& o) {
+/// Builds the VerifyRequest every verify-shaped command shares (engine,
+/// budgets, trace plan, encoding knobs) from parsed options. Properties are
+/// NOT set here — the single-file path resolves them against the loaded
+/// program, the service paths pass them as source text. nullopt (with the
+/// reason in *error) when the engine name is unknown.
+std::optional<mcsym::check::VerifyRequest> request_from_options(
+    const Options& o, std::string* error) {
   const auto engine = mcsym::check::engine_from_name(o.engine);
   if (!engine.has_value()) {
-    return fail("unknown --engine '" + o.engine +
-                "' (symbolic, explicit, dpor, dpor-sleepset, portfolio)");
+    *error = "unknown engine '" + o.engine +
+             "' (symbolic, explicit, dpor, dpor-sleepset, portfolio)";
+    return std::nullopt;
   }
-  const auto lp = load(o);
-  if (!lp) return 2;
-
   mcsym::check::VerifyRequest req;
   req.engine = *engine;
   req.budget.max_seconds = o.max_seconds;
@@ -365,6 +410,25 @@ int cmd_verify(const Options& o) {
   req.traces = o.traces;
   req.workers = o.workers;
   req.symbolic = symbolic_options(o);
+  if (o.timeout > 0) {
+    // The per-request wall-clock limit rides the existing cancellation
+    // path: the progress callback returns false once the limit passes and
+    // the engines unwind to a kBudgetExhausted reply.
+    req.progress = [limit = o.timeout](const mcsym::check::Progress& p) {
+      return p.seconds <= limit;
+    };
+  }
+  return req;
+}
+
+int cmd_verify(const Options& o) {
+  std::string engine_error;
+  auto maybe_req = request_from_options(o, &engine_error);
+  if (!maybe_req) return fail(engine_error);
+  const auto lp = load(o);
+  if (!lp) return 2;
+
+  mcsym::check::VerifyRequest req = std::move(*maybe_req);
   req.properties = lp->properties;
 
   Verifier verifier;
@@ -410,6 +474,283 @@ int cmd_verify(const Options& o) {
   const int rc = write_output(o, report.str());
   if (rc != 0) return rc;
   return verdict_exit_code(vr.verdict);
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", seconds);
+  return buf;
+}
+
+/// The shared tail of a batch/serve reply envelope: request outcome plus
+/// the service's cumulative cache counters. The envelope is service-level
+/// bookkeeping; the mcsym.verify/1 report (when requested) follows
+/// separately and is byte-identical across cache hits.
+void append_reply_fields(std::ostringstream& os,
+                         const VerifierService::Reply& reply,
+                         const VerifierService::Stats& stats) {
+  os << "\"ok\":" << (reply.ok ? "true" : "false");
+  if (!reply.ok) {
+    os << ",\"error\":\"" << json_escape(reply.error) << "\"";
+  } else {
+    os << ",\"name\":\"" << json_escape(reply.name) << "\""
+       << ",\"verdict\":\"" << mcsym::check::verdict_name(reply.verdict)
+       << "\"";
+    if (reply.cancelled) os << ",\"cancelled\":true";
+  }
+  os << ",\"exit\":" << reply.exit_code
+     << ",\"cache_hit\":" << (reply.cache_hit ? "true" : "false")
+     << ",\"cache_hits\":" << stats.cache_hits
+     << ",\"cache_misses\":" << stats.cache_misses
+     << ",\"seconds\":" << format_seconds(reply.seconds);
+}
+
+/// Worst-exit precedence for batch mode: usage/input errors dominate, then
+/// findings, then exhausted budgets, then clean safes.
+int combine_exit(int a, int b) {
+  auto rank = [](int code) {
+    switch (code) {
+      case 2: return 3;
+      case 1: return 2;
+      case 3: return 1;
+      default: return 0;
+    }
+  };
+  return rank(a) >= rank(b) ? a : b;
+}
+
+int cmd_verify_batch(const Options& o) {
+  std::string engine_error;
+  const auto maybe_req = request_from_options(o, &engine_error);
+  if (!maybe_req) return fail(engine_error);
+  const auto manifest = slurp(o.file);
+  if (!manifest) return 2;
+
+  VerifierService service({o.cache_capacity});
+  std::ostringstream out;
+  int exit_code = 0;
+  std::size_t entries = 0;
+  std::istringstream lines(*manifest);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    const auto stop = line.find_last_not_of(" \t");
+    const std::string path = line.substr(start, stop - start + 1);
+    if (path.front() == '#') continue;
+    ++entries;
+
+    std::ostringstream env;
+    env << "{\"schema\":\"mcsym.batch/1\",\"file\":\"" << json_escape(path)
+        << "\",";
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      VerifierService::Reply unreadable;
+      unreadable.error = "cannot open '" + path + "'";
+      append_reply_fields(env, unreadable, service.stats());
+      env << "}\n";
+      out << env.str();
+      exit_code = combine_exit(exit_code, 2);
+      continue;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const VerifierService::Reply reply =
+        service.verify_source(ss.str(), *maybe_req, o.properties);
+    append_reply_fields(env, reply, service.stats());
+    env << "}\n";
+    out << env.str();
+    if (o.json && !reply.report_json.empty()) {
+      out << reply.report_json;
+      if (reply.report_json.back() != '\n') out << "\n";
+    }
+    exit_code = combine_exit(exit_code, reply.exit_code);
+  }
+
+  const VerifierService::Stats& stats = service.stats();
+  out << "{\"schema\":\"mcsym.batch/1\",\"summary\":true,\"entries\":"
+      << entries << ",\"requests\":" << stats.requests
+      << ",\"parse_errors\":" << stats.parse_errors
+      << ",\"cache_hits\":" << stats.cache_hits
+      << ",\"cache_misses\":" << stats.cache_misses
+      << ",\"exit\":" << exit_code << "}\n";
+  const int rc = write_output(o, out.str());
+  if (rc != 0) return rc;
+  return exit_code;
+}
+
+// Serve protocol (line-oriented over stdio, one service for the whole
+// session so the verdict cache accumulates across requests):
+//
+//   verify [k=v ...]      header; the program text follows, terminated by a
+//     <.mcp lines>        line containing only "."
+//     .
+//   stats                 report cumulative service counters
+//   quit                  exit 0 (as does EOF)
+//
+// Header options override this process's command-line defaults per request:
+// engine, seed, traces, workers, round-robin (0/1), max-seconds, max-states,
+// max-transitions, conflicts, timeout (wall-clock seconds, cancels via the
+// progress callback), json (0/1: append the mcsym.verify/1 report), and id
+// (echoed in the reply). Values cannot contain spaces; properties belong in
+// the program text.
+//
+// Every reply is one mcsym.serve/1 envelope line, then (json=1, ok) the
+// report document, then a line containing only ".". Malformed headers,
+// unparseable programs, and exhausted budgets all produce an error or
+// exit=3 reply and the loop continues — the server only exits on EOF/quit.
+int cmd_serve(const Options& o) {
+  VerifierService service({o.cache_capacity});
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::istringstream header(line);
+    std::string command;
+    header >> command;
+    if (command.empty()) continue;
+    if (command == "quit") return 0;
+
+    if (command == "stats") {
+      const VerifierService::Stats& s = service.stats();
+      std::cout << "{\"schema\":\"mcsym.serve/1\",\"stats\":true,\"requests\":"
+                << s.requests << ",\"parse_errors\":" << s.parse_errors
+                << ",\"cache_hits\":" << s.cache_hits
+                << ",\"cache_misses\":" << s.cache_misses
+                << ",\"cache_stores\":" << s.cache_stores
+                << ",\"cache_evictions\":" << s.cache_evictions
+                << ",\"cache_size\":" << service.cache_size() << "}\n.\n"
+                << std::flush;
+      continue;
+    }
+
+    auto error_reply = [&](const std::string& id, const std::string& message) {
+      std::cout << "{\"schema\":\"mcsym.serve/1\",";
+      if (!id.empty()) std::cout << "\"id\":\"" << json_escape(id) << "\",";
+      std::cout << "\"ok\":false,\"error\":\"" << json_escape(message)
+                << "\",\"exit\":2}\n.\n"
+                << std::flush;
+    };
+
+    if (command != "verify") {
+      error_reply("", "unknown command '" + command + "'");
+      continue;
+    }
+
+    // Per-request options start from this process's defaults.
+    Options ro = o;
+    std::string opt_error;
+    std::string token;
+    while (header >> token) {
+      const auto eq = token.find('=');
+      if (eq == std::string::npos) {
+        opt_error = "malformed option '" + token + "' (expected k=v)";
+        break;
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "engine") {
+        ro.engine = value;
+      } else if (key == "seed") {
+        ro.seed = std::strtoull(value.c_str(), nullptr, 10);
+      } else if (key == "traces") {
+        ro.traces = static_cast<std::uint32_t>(
+            std::strtoul(value.c_str(), nullptr, 10));
+      } else if (key == "workers") {
+        ro.workers = static_cast<std::uint32_t>(
+            std::strtoul(value.c_str(), nullptr, 10));
+        if (ro.workers == 0) ro.workers = 1;
+      } else if (key == "round-robin") {
+        ro.round_robin = value != "0";
+      } else if (key == "max-seconds") {
+        ro.max_seconds = std::strtod(value.c_str(), nullptr);
+      } else if (key == "max-states") {
+        ro.max_states = std::strtoull(value.c_str(), nullptr, 10);
+      } else if (key == "max-transitions") {
+        ro.max_transitions = std::strtoull(value.c_str(), nullptr, 10);
+      } else if (key == "conflicts") {
+        ro.conflicts = std::strtoull(value.c_str(), nullptr, 10);
+      } else if (key == "timeout") {
+        ro.timeout = std::strtod(value.c_str(), nullptr);
+      } else if (key == "json") {
+        ro.json = value != "0";
+      } else if (key == "id") {
+        ro.request_id = value;
+      } else {
+        opt_error = "unknown option '" + key + "'";
+        break;
+      }
+    }
+
+    // Consume the program body even when the header was bad, so the stream
+    // stays framed on the next request.
+    std::string body;
+    bool terminated = false;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line == ".") {
+        terminated = true;
+        break;
+      }
+      body += line;
+      body += '\n';
+    }
+    if (!terminated) {
+      error_reply(ro.request_id, "unexpected EOF inside a request body");
+      return 0;
+    }
+    if (!opt_error.empty()) {
+      error_reply(ro.request_id, opt_error);
+      continue;
+    }
+    std::string engine_error;
+    const auto req = request_from_options(ro, &engine_error);
+    if (!req) {
+      error_reply(ro.request_id, engine_error);
+      continue;
+    }
+
+    const VerifierService::Reply reply =
+        service.verify_source(body, *req, ro.properties);
+    std::ostringstream env;
+    env << "{\"schema\":\"mcsym.serve/1\",";
+    if (!ro.request_id.empty()) {
+      env << "\"id\":\"" << json_escape(ro.request_id) << "\",";
+    }
+    append_reply_fields(env, reply, service.stats());
+    env << "}\n";
+    std::cout << env.str();
+    if (ro.json && reply.ok && !reply.report_json.empty()) {
+      std::cout << reply.report_json;
+      if (reply.report_json.back() != '\n') std::cout << "\n";
+    }
+    std::cout << ".\n" << std::flush;
+  }
+  return 0;
 }
 
 int cmd_check(const Options& o) {
@@ -763,7 +1104,10 @@ int main(int argc, char** argv) {
   }
   if (options->command == "run") return cmd_run(*options);
   if (options->command == "trace") return cmd_trace(*options);
-  if (options->command == "verify") return cmd_verify(*options);
+  if (options->command == "verify") {
+    return options->batch ? cmd_verify_batch(*options) : cmd_verify(*options);
+  }
+  if (options->command == "serve") return cmd_serve(*options);
   if (options->command == "check") return cmd_check(*options);
   if (options->command == "enumerate") return cmd_enumerate(*options);
   if (options->command == "diagnose") return cmd_diagnose(*options);

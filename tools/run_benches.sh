@@ -21,6 +21,7 @@ benches=(
   bench_nonblocking
   bench_parallel_dpor
   bench_poll
+  bench_service
   bench_solver
   bench_symbolic_vs_explicit
 )
