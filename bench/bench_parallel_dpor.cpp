@@ -1,15 +1,24 @@
-// Sharded optimal-DPOR scaling: BM_Dpor_Parallel_MessageRace sweeps the
-// racing-senders family (message_race(s, 2), the BM_Dpor_MessageRace
-// instances) over a worker-count axis {1, 2, 4, 8}. The workers == 1 row
-// is the serial engine (the baseline the nightly speedup gate divides by);
-// UseRealTime makes wall clock — not the summed CPU time of the worker
-// fleet — the reported metric, which is what a parallel speedup means.
+// Work-stealing optimal-DPOR scaling: BM_Dpor_Parallel_MessageRace sweeps
+// the racing-senders family (message_race(s, 2), the BM_Dpor_MessageRace
+// instances) over a worker-count axis {1, 2, 4, 8, 16}, and
+// BM_Dpor_Parallel_ScatterGather sweeps the symmetric wide-frontier
+// scatter/gather workload — the shape where stealing should pay the most:
+// after the scatter prefix every worker thread's result send races at one
+// gather endpoint, so the tree fans into many equal-size subtrees and an
+// idle DPOR worker can always find a victim with old (= high, = big) work
+// on its deque. The workers == 1 row is the serial engine (the baseline
+// the nightly speedup gate divides by); UseRealTime makes wall clock — not
+// the summed CPU time of the worker fleet — the reported metric, which is
+// what a parallel speedup means.
 //
 // The per-run counters double as a determinism spot-check: executions is
 // the closed-form trace count (90 for /3, 2520 for /4) at EVERY worker
 // count, redundant is always 0, and duplicates (raced explorations the
-// sleep sets killed) is the price of sharding, reported so the gate can
-// see overhead, not just elapsed time.
+// sleep sets killed) is the price of sharding. The scheduler telemetry —
+// steals, steal_failures, claim_conflicts — is exported as counters too:
+// the nightly nonzero-steals gate (tools/bench_gate.py --min-counter) reads
+// `steals` off the wide workload to prove idle workers actually took work
+// from busy peers rather than scaling by luck of the initial split.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -21,6 +30,19 @@ namespace {
 
 using namespace mcsym;
 namespace wl = check::workloads;
+
+void export_counters(benchmark::State& state, const check::DporStats& stats) {
+  state.counters["executions"] = static_cast<double>(stats.executions);
+  state.counters["transitions"] = static_cast<double>(stats.transitions);
+  state.counters["redundant"] =
+      static_cast<double>(stats.redundant_explorations);
+  state.counters["duplicates"] =
+      static_cast<double>(stats.parallel_duplicates);
+  state.counters["steals"] = static_cast<double>(stats.steals);
+  state.counters["steal_failures"] = static_cast<double>(stats.steal_failures);
+  state.counters["claim_conflicts"] =
+      static_cast<double>(stats.claim_conflicts);
+}
 
 void BM_Dpor_Parallel_MessageRace(benchmark::State& state) {
   const auto senders = static_cast<std::uint32_t>(state.range(0));
@@ -35,15 +57,29 @@ void BM_Dpor_Parallel_MessageRace(benchmark::State& state) {
     stats = r.stats;
     benchmark::DoNotOptimize(r.stats.terminal_states);
   }
-  state.counters["executions"] = static_cast<double>(stats.executions);
-  state.counters["transitions"] = static_cast<double>(stats.transitions);
-  state.counters["redundant"] =
-      static_cast<double>(stats.redundant_explorations);
-  state.counters["duplicates"] =
-      static_cast<double>(stats.parallel_duplicates);
+  export_counters(state, stats);
 }
 BENCHMARK(BM_Dpor_Parallel_MessageRace)
-    ->ArgsProduct({{3, 4}, {1, 2, 4, 8}})
+    ->ArgsProduct({{3, 4}, {1, 2, 4, 8, 16}})
+    ->UseRealTime();
+
+void BM_Dpor_Parallel_ScatterGather(benchmark::State& state) {
+  const auto fanout = static_cast<std::uint32_t>(state.range(0));
+  const auto workers = static_cast<std::uint32_t>(state.range(1));
+  const mcapi::Program p = wl::scatter_gather_safe(fanout);
+  check::DporOptions opts;
+  opts.workers = workers;
+  check::DporStats stats;
+  for (auto _ : state) {
+    check::DporChecker checker(p, opts);
+    const auto r = checker.run();
+    stats = r.stats;
+    benchmark::DoNotOptimize(r.stats.terminal_states);
+  }
+  export_counters(state, stats);
+}
+BENCHMARK(BM_Dpor_Parallel_ScatterGather)
+    ->ArgsProduct({{5, 6}, {1, 2, 4, 8, 16}})
     ->UseRealTime();
 
 }  // namespace

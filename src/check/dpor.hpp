@@ -73,8 +73,11 @@ struct DporOptions {
   /// thread-safe (the facade's is).
   std::function<bool()> interrupted;
   /// Exploration threads for optimal mode. 1 (default) runs the serial code
-  /// path byte-for-byte. N > 1 shards the wakeup-tree frontier across N
-  /// workers, each replaying claimed prefixes on its own journaling System.
+  /// path byte-for-byte. N > 1 explores the wakeup tree with a
+  /// work-stealing scheduler: each worker owns a Chase–Lev deque of
+  /// unexplored branches (LIFO descent locally, oldest-first steals by idle
+  /// peers), claims branches lock-free via CAS, and replays claimed
+  /// prefixes on its own journaling System.
   /// The trace-determined counters — executions, terminal_states, deadlock
   /// counts — and all verdicts are identical to serial on non-violating
   /// programs for every N (sleep sets kill raced duplicate explorations
@@ -122,6 +125,24 @@ struct DporStats {
   /// from executions/transitions/terminal_states — those counters stay
   /// equal to the serial engine's. Always 0 when workers == 1.
   std::uint64_t parallel_duplicates = 0;
+  // Work-stealing scheduler telemetry (workers > 1 only; all 0 serially).
+  // These count scheduling WORK, not trace structure: like races_detected
+  // they vary run to run with thread timing, and are surfaced so contention
+  // is measurable, not pinned.
+  /// Branches taken from another worker's deque (each steal costs the thief
+  /// a prefix replay of up to the branch's depth — see max_replay_depth).
+  std::uint64_t steals = 0;
+  /// Whole steal rounds (one attempt at every victim) that found nothing.
+  /// The idle/backoff spin between rounds; high values mean starved workers.
+  std::uint64_t steal_failures = 0;
+  /// Branch claims lost to a concurrent claimer: the claim CAS observed the
+  /// branch pending but another worker won it first. The lock-free analogue
+  /// of mutex contention on the old single-queue scheduler's hot path.
+  std::uint64_t claim_conflicts = 0;
+  /// Deepest prefix replay any navigate() performed when repositioning a
+  /// worker onto claimed work (merged by max, not sum). Bounded by the
+  /// longest execution; small values mean stolen work sat high in the tree.
+  std::uint64_t max_replay_depth = 0;
 };
 
 struct DporResult {
@@ -151,10 +172,12 @@ class DporChecker {
 
  private:
   void run_optimal(DporResult& result, const support::Stopwatch& timer);
-  /// Sharded optimal exploration (options_.workers > 1): the whole wakeup
-  /// tree lives in shared memory, workers claim frontier branches from a
-  /// LIFO work stack and replay the claimed prefix on their own journaling
-  /// System. Implemented in dpor_parallel.cpp.
+  /// Work-stealing optimal exploration (options_.workers > 1): the whole
+  /// wakeup tree lives in shared memory, every worker owns a Chase–Lev
+  /// deque of unexplored branches, claims are lock-free CAS transitions on
+  /// the branch state, and idle workers steal oldest-first from random
+  /// victims, replaying the claimed prefix on their own journaling System.
+  /// Implemented in dpor_parallel.cpp.
   void run_parallel(DporResult& result, const support::Stopwatch& timer);
   /// Sleep-set DFS over the live journaling `sys`: each visited action is
   /// applied, explored, and rolled back to the frame's checkpoint.

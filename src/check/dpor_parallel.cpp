@@ -1,4 +1,4 @@
-// Sharded optimal-DPOR exploration (DporOptions::workers > 1).
+// Work-stealing parallel optimal-DPOR exploration (DporOptions::workers > 1).
 //
 // The serial engine (dpor.cpp, run_optimal) walks ONE wakeup tree
 // depth-first, detaching each branch as it descends. That detachment is
@@ -14,6 +14,28 @@
 //    schedule, replay it on the worker's own journaling System (rolling
 //    back only to the lowest common ancestor of the previous position),
 //    then explore the subtree depth-first exactly like the serial loop.
+//  * Scheduling is work stealing, not a shared queue. Every worker owns a
+//    Chase–Lev deque (steal_deque.hpp): branches it creates are pushed at
+//    the bottom and the next branch to run is popped from the bottom, so
+//    local exploration stays LIFO and journal-hot; an idle worker steals
+//    from the TOP of a random victim — the oldest entry, i.e. the branch
+//    highest in the tree: a large unexplored subtree behind a short
+//    navigate() replay. The branch a worker will descend into next is not
+//    pushed at all (its local claim is immediate), so the deques carry
+//    only the work a thief could usefully take.
+//  * Branch claims are lock-free: BranchState is an atomic and a claim is
+//    one CAS (kPending -> kClaimed). A branch reaches exactly one claimer
+//    no matter how many deque entries or frame scans race for it; losers
+//    count a claim_conflict and move on. The hot path of execute_branch —
+//    claim, sibling-prefix snapshot, sleep computation — takes no lock at
+//    all: branch storage is append-only and chunked (BranchList), so ev /
+//    pick / the sibling prefix below any published index are immutable,
+//    and readers never hold locks against the appender.
+//  * Mutation is node-local. Each Node carries its own mutex guarding
+//    exactly two things: appends to its branch list (wakeup-tree grafts
+//    from insert_into_node) and the scheduled-subtree handoff when one of
+//    its branches executes (b.subtree moves into the new child frame).
+//    Workers exploring disjoint subtrees share no locks whatsoever.
 //  * Sleep sets are EAGER and ordered: the sleep of branch b_i at a frame
 //    is the frame's inherited sleep plus the (non-internal) first actions
 //    of siblings ordered before b_i. Branch order is append-only (inserts
@@ -27,10 +49,12 @@
 //    replays rebuild events/happens-before rows but never re-scan, so
 //    races_detected and the insert set per tree position match the serial
 //    engine's.
-//  * One global mutex guards all tree mutation and the work stack. The
-//    expensive work — System apply/undo, feasibility simulations,
-//    happens-before rows — happens outside the lock on worker-private
-//    state; critical sections are pointer walks and vector pushes.
+//  * Termination is steal-round quiescence, not a condition variable:
+//    `outstanding_` counts branches not yet retired (created before their
+//    parent retires, so it can only reach zero when the whole tree is
+//    explored). A worker whose own deque is empty runs steal rounds over
+//    random victims; after a failed round it checks outstanding_ == 0 and
+//    exits, else backs off (yield, then microsleeps) and tries again.
 //
 // Determinism: sibling branches of a wakeup tree are NOT independent —
 // scans inside an earlier sibling's subtree graft sequences into later
@@ -42,20 +66,24 @@
 // COMPLETED maximal executions is still exactly one representative per
 // Mazurkiewicz trace: executions / terminal_states / deadlock counts and
 // all verdicts are identical to the serial engine for every worker count
-// (parallel_dpor_test pins this across workers ∈ {1,2,4,8}). The killed
-// duplicates land in stats.parallel_duplicates; transitions is charged
-// arrival-edge-exact — each completed execution's full path length at the
-// moment it retires. Every linearization of a Mazurkiewicz trace has the
-// same length, so the sum is independent of WHICH representative a claim
-// race lets complete: transitions equals serial at every worker count
-// (duplicate and sleep-blocked paths charge nothing, in both engines).
-// races_detected / wakeup_nodes count scheduling WORK, which depends on
-// which worker reaches a race first. A violation stops all workers at the
-// first finder, so counters on violating programs are partial, like any
-// early exit.
+// (parallel_dpor_test pins this across workers ∈ {1,2,4,8}). The argument
+// only uses the append-only sibling ORDER, never the order in which
+// siblings are claimed, so it is indifferent to which worker's deque a
+// branch sat in or whether it was stolen. The killed duplicates land in
+// stats.parallel_duplicates; transitions is charged arrival-edge-exact —
+// each completed execution's full path length at the moment it retires.
+// Every linearization of a Mazurkiewicz trace has the same length, so the
+// sum is independent of WHICH representative a claim race lets complete:
+// transitions equals serial at every worker count (duplicate and
+// sleep-blocked paths charge nothing, in both engines). races_detected /
+// wakeup_nodes count scheduling WORK, which depends on which worker
+// reaches a race first — as do the scheduler telemetry counters (steals,
+// steal_failures, claim_conflicts, max_replay_depth). A violation stops
+// all workers at the first finder, so counters on violating programs are
+// partial, like any early exit.
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
+#include <chrono>
 #include <cstdint>
 #include <iterator>
 #include <memory>
@@ -66,6 +94,7 @@
 
 #include "check/dpor.hpp"
 #include "check/dpor_internal.hpp"
+#include "check/steal_deque.hpp"
 #include "support/assert.hpp"
 #include "support/stats.hpp"
 
@@ -80,46 +109,128 @@ namespace {
 
 using dpor_detail::is_internal_step;
 using dpor_detail::kNpos;
+using dpor_detail::StealDeque;
 using dpor_detail::WakeupTree;
 using dpor_detail::weak_initial_pos;
 
 constexpr std::uint32_t kNoBranch = static_cast<std::uint32_t>(-1);
 
+constexpr std::uint8_t kStatePending = 0;
+constexpr std::uint8_t kStateClaimed = 1;
+constexpr std::uint8_t kStateDone = 2;
+
 struct Node;
 
-enum class BranchState : std::uint8_t { kPending, kClaimed, kDone };
-
-/// One wakeup-tree root child of a frame, live for the whole run. Until
-/// the branch executes, scheduled sequences below it live in `subtree`;
-/// execution atomically (under the tree mutex) moves them into the child
-/// Node, so concurrent grafts always land somewhere a worker will visit.
+/// One wakeup-tree root child of a frame, live for the whole run. `ev`,
+/// `pick`, `owner` and `index` are written before the branch is published
+/// (BranchList::append's release) and immutable afterwards — every reader
+/// path (claims, sibling snapshots, sleep coverage) touches only those, so
+/// the hot path needs no lock. `state` is the lock-free claim word.
+/// `subtree` (scheduled sequences below an unexecuted branch) and the
+/// `child` handoff are guarded by the owning node's mutex: execution moves
+/// the subtree into the child Node and publishes `child` in one critical
+/// section, so concurrent grafts always land somewhere a worker will visit.
 struct Branch {
   ActionFootprint ev;  // first event; .action/.internal authoritative, the
                        // rest recomputed at execution
-  WakeupTree subtree;
-  std::unique_ptr<Node> child;  // set when the branch executes
-  BranchState state = BranchState::kPending;
-  /// True for an initial-pick seed (arbitrary first exploration of a fresh
-  /// frame), false for scheduled material (peeled chains and race inserts).
-  /// The serial engine's wakeup tree at a frame never contains DEEPER
-  /// frames' pick seeds — they are born after the branch detaches — so the
-  /// shared-tree insert walk must not treat them as scheduled chain nodes.
-  bool pick = false;
+  WakeupTree subtree;           // guarded by owner->mu until child is set
+  Node* owner = nullptr;        // frame this branch belongs to
+  std::uint32_t index = 0;      // position in owner's branch list
+  bool pick = false;            // initial-pick seed, not scheduled material
+  std::atomic<std::uint8_t> state{kStatePending};
+  std::atomic<Node*> child{nullptr};  // set when the branch executes
+
+  ~Branch();  // deletes the child subtree (teardown is single-threaded)
+};
+
+/// Append-only chunked branch storage: chunk k holds 8 << k slots, so
+/// branches never move once constructed — their addresses are the deque
+/// entries and their atomics are CASed in place, which a reallocating
+/// vector could never support. Appends (under the owning node's mutex)
+/// fill the slot, then publish it with a release store of the size;
+/// lock-free readers use size_acquire() or an index they obtained from a
+/// published branch, so every slot they touch is fully constructed.
+class BranchList {
+ public:
+  BranchList() = default;
+  BranchList(const BranchList&) = delete;
+  BranchList& operator=(const BranchList&) = delete;
+
+  ~BranchList() {
+    for (std::atomic<Branch*>& c : chunks_) {
+      delete[] c.load(std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t size_acquire() const {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] Branch& operator[](std::uint32_t i) const {
+    const std::uint32_t c = chunk_of(i);
+    return chunks_[c].load(std::memory_order_acquire)[i - chunk_base(c)];
+  }
+
+  /// Appends and publishes a branch (caller holds the owning node's mutex).
+  Branch& append(Node* owner, ActionFootprint ev, WakeupTree subtree,
+                 bool pick) {
+    const std::uint32_t i = size_.load(std::memory_order_relaxed);
+    const std::uint32_t c = chunk_of(i);
+    MCSYM_ASSERT(c < kMaxChunks);
+    Branch* chunk = chunks_[c].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new Branch[std::size_t{8} << c];
+      chunks_[c].store(chunk, std::memory_order_release);
+    }
+    Branch& b = chunk[i - chunk_base(c)];
+    b.ev = std::move(ev);
+    b.subtree = std::move(subtree);
+    b.owner = owner;
+    b.index = i;
+    b.pick = pick;
+    size_.store(i + 1, std::memory_order_release);
+    return b;
+  }
+
+ private:
+  static constexpr std::uint32_t kMaxChunks = 28;
+
+  /// Chunk k covers indices [8*(2^k - 1), 8*(2^{k+1} - 1)).
+  [[nodiscard]] static std::uint32_t chunk_of(std::uint32_t i) {
+    std::uint32_t q = (i >> 3) + 1;
+    std::uint32_t c = 0;
+    while (q > 1) {
+      q >>= 1;
+      ++c;
+    }
+    return c;
+  }
+
+  [[nodiscard]] static std::uint32_t chunk_base(std::uint32_t c) {
+    return 8u * ((1u << c) - 1u);
+  }
+
+  mutable std::atomic<Branch*> chunks_[kMaxChunks] = {};
+  std::atomic<std::uint32_t> size_{0};
 };
 
 /// One frame of the shared exploration tree. parent/depth/arrival/
-/// inherited_sleep/maximal are written once at creation (under the tree
-/// mutex) and immutable afterwards; `branches` grows append-only under
-/// the mutex.
+/// inherited_sleep/maximal are written before the node is published (via
+/// its parent branch's `child` release store) and immutable afterwards;
+/// `branches` grows append-only under `mu`, which also serializes grafts
+/// into an unexecuted branch's subtree against that branch's execution.
 struct Node {
   Node* parent = nullptr;
   std::uint32_t parent_branch = 0;
   std::uint32_t depth = 0;
   ActionFootprint arrival;  // footprint executed from parent (exact identities)
   std::vector<ActionFootprint> inherited_sleep;
-  std::vector<Branch> branches;
+  std::mutex mu;
+  BranchList branches;
   bool maximal = false;  // no enabled action at this state
 };
+
+Branch::~Branch() { delete child.load(std::memory_order_relaxed); }
 
 class ParallelExplorer {
  public:
@@ -134,18 +245,18 @@ class ParallelExplorer {
   void run(DporResult& result);
 
  private:
-  struct WorkItem {
-    Node* node = nullptr;
-    std::uint32_t branch = 0;
-  };
-
   /// Worker-private exploration state: one journaling System walked up and
   /// down the shared tree, plus the executed prefix's footprints and
   /// happens-before rows (rebuilt on prefix replay, never shared).
   struct Worker {
-    explicit Worker(const mcapi::Program& program, mcapi::DeliveryMode mode)
-        : sys(program, mode) {}
+    Worker(const mcapi::Program& program, mcapi::DeliveryMode mode,
+           std::uint32_t worker_id)
+        : sys(program, mode),
+          id(worker_id),
+          rng(0x9E3779B97F4A7C15ull * (worker_id + 1)) {}
     System sys;
+    std::uint32_t id;
+    std::uint64_t rng;  // victim-selection stream (splitmix-style)
     std::vector<Node*> path;  // path[d] = node at depth d; back() = position
     std::vector<ActionFootprint> events;  // events[d] = arrival into path[d+1]
     std::vector<std::vector<bool>> hb;
@@ -159,7 +270,7 @@ class ParallelExplorer {
     std::vector<std::ptrdiff_t> ep_len;
   };
 
-  void worker_main();
+  void worker_main(std::uint32_t id);
   void explore(Worker& w, Node* entry, std::uint32_t entry_branch);
   /// Executes the claimed branch `bi` of `node` (sys must be at node's
   /// state). Returns the child node to descend into, or nullptr when the
@@ -172,11 +283,42 @@ class ParallelExplorer {
   void navigate(Worker& w, Node* target);
   void push_event(Worker& w, const ActionFootprint& ev);
   /// Inserts `w_` below `f`, walking branches >= min_branch at the top
-  /// level and every branch deeper. Requires mu_. Returns nodes added.
-  std::size_t insert_into_node(Node* f, std::uint32_t min_branch,
+  /// level and every branch deeper. Locks one node at a time (appends and
+  /// subtree grafts only); a fresh branch is pushed onto the calling
+  /// worker's deque. Returns nodes added.
+  std::size_t insert_into_node(Worker& w, Node* f, std::uint32_t min_branch,
                                std::vector<ActionFootprint> w_);
+  /// One steal round: every other worker's deque once, starting at a
+  /// random victim. Returns the stolen branch or nullptr (the round
+  /// failed; counted in steal_failures).
+  Branch* steal_round(Worker& w);
   [[nodiscard]] bool over_budget(Worker& w);
-  void request_stop_truncated();
+
+  /// Lock-free claim: exactly one caller wins the pending -> claimed CAS.
+  [[nodiscard]] static bool try_claim(Branch& b) {
+    std::uint8_t expected = kStatePending;
+    return b.state.compare_exchange_strong(expected, kStateClaimed,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed);
+  }
+
+  /// A branch's exploration is complete (leaf outcome or subtree
+  /// exhausted): mark it done and drop it from the quiescence count. The
+  /// release pairs with the idle loop's acquire so a worker that observes
+  /// outstanding_ == 0 sees the finished tree.
+  void retire(Branch& b) {
+    b.state.store(kStateDone, std::memory_order_relaxed);
+    outstanding_.fetch_sub(1, std::memory_order_release);
+  }
+
+  /// Counts a just-created branch toward quiescence and exposes it to
+  /// thieves via the creating worker's deque. Creation always precedes the
+  /// creating branch's retire, so outstanding_ can only hit zero when the
+  /// whole tree is explored.
+  void publish_work(Worker& w, Branch& b) {
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    deques_[w.id]->push(&b);
+  }
 
   [[nodiscard]] static std::vector<Action> actions_of(
       const std::vector<ActionFootprint>& events) {
@@ -192,14 +334,11 @@ class ParallelExplorer {
   const mcapi::DeliveryMode mode_;
   const bool countable_;
 
-  // Tree + scheduling state, guarded by mu_.
-  std::mutex mu_;
-  std::condition_variable cv_;
   Node root_;
-  std::vector<WorkItem> work_;  // LIFO; entries may be stale (state-checked)
-  std::uint64_t pending_ = 0;   // branches currently kPending
-  std::uint32_t busy_ = 0;      // workers not waiting for work
-  bool done_ = false;
+  std::vector<std::unique_ptr<StealDeque<Branch>>> deques_;  // one per worker
+  /// Branches created but not yet retired; zero <=> exploration complete
+  /// (the steal-round quiescence test — see worker_main).
+  std::atomic<std::uint64_t> outstanding_{0};
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> truncated_{false};
@@ -220,13 +359,6 @@ bool ParallelExplorer::over_budget(Worker& w) {
     return true;
   }
   return options_.interrupted && options_.interrupted();
-}
-
-void ParallelExplorer::request_stop_truncated() {
-  truncated_.store(true, std::memory_order_relaxed);
-  stop_.store(true, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> g(mu_);
-  cv_.notify_all();
 }
 
 void ParallelExplorer::push_event(Worker& w, const ActionFootprint& ev) {
@@ -290,7 +422,8 @@ bool ParallelExplorer::count_feasible(Worker& w, std::size_t k,
   return true;
 }
 
-std::size_t ParallelExplorer::insert_into_node(Node* f, std::uint32_t min_branch,
+std::size_t ParallelExplorer::insert_into_node(Worker& w, Node* f,
+                                               std::uint32_t min_branch,
                                                std::vector<ActionFootprint> w_) {
   // The serial engine's insert walks frame f's own wakeup tree. In the
   // live shared tree a matched branch may already be executed; the graft
@@ -302,23 +435,34 @@ std::size_t ParallelExplorer::insert_into_node(Node* f, std::uint32_t min_branch
   // (serial's walk consumes the pick's event and drops the rest at its
   // empty-chain leaf), and a node with no scheduled-origin branches is
   // the serial chain's leaf (leaf ⊑ w: drop).
+  //
+  // Locking is node-local and held one node at a time: the scan + the
+  // mutation it decides on (graft into an unexecuted branch's subtree, or
+  // append a fresh rightmost branch) happen under the same critical
+  // section, so the decision is consistent with every concurrent append
+  // and with the branch-execution handoff (which takes the same mutex to
+  // move the subtree and set `child`). Descending releases the lock —
+  // the child's list is re-scanned under the child's own mutex.
   Node* node = f;
   std::uint32_t start = min_branch;
   bool deeper = false;
   while (true) {
     if (w_.empty()) return 0;     // an explored/scheduled path covers w
     if (node->maximal) return 0;  // executed leaf ⊑ w
+    std::unique_lock<std::mutex> lock(node->mu);
     bool descended = false;
     bool has_scheduled = false;
-    for (std::uint32_t i = start; i < node->branches.size(); ++i) {
+    const std::uint32_t n = node->branches.size_acquire();
+    for (std::uint32_t i = start; i < n; ++i) {
       Branch& c = node->branches[i];
       if (!c.pick) has_scheduled = true;
       const std::size_t j = weak_initial_pos(c.ev.action, w_, mode_);
       if (j == kNpos) continue;
       if (c.pick) return 0;
       w_.erase(w_.begin() + static_cast<std::ptrdiff_t>(j));
-      if (c.child != nullptr) {
-        node = c.child.get();
+      if (Node* child = c.child.load(std::memory_order_acquire)) {
+        lock.unlock();
+        node = child;
         start = 0;
         deeper = true;
         descended = true;
@@ -340,18 +484,18 @@ std::size_t ParallelExplorer::insert_into_node(Node* f, std::uint32_t min_branch
     }
     // No weak initial among the live branches: fresh rightmost branch,
     // the first event heading it and the remainder as its scheduled chain.
-    Branch nb;
-    nb.ev = std::move(w_.front());
     std::size_t added = 1;
+    WakeupTree rest_tree;
+    ActionFootprint head = std::move(w_.front());
     if (w_.size() > 1) {
       std::vector<ActionFootprint> rest(std::make_move_iterator(w_.begin() + 1),
                                         std::make_move_iterator(w_.end()));
-      added += nb.subtree.insert(std::move(rest), mode_);
+      added += rest_tree.insert(std::move(rest), mode_);
     }
-    node->branches.push_back(std::move(nb));
-    work_.push_back({node, static_cast<std::uint32_t>(node->branches.size() - 1)});
-    ++pending_;
-    cv_.notify_one();
+    Branch& nb =
+        node->branches.append(node, std::move(head), std::move(rest_tree),
+                              /*pick=*/false);
+    publish_work(w, nb);
     return added;
   }
 }
@@ -385,23 +529,22 @@ void ParallelExplorer::scan_races(Worker& w, const ActionFootprint& ev) {
     // Sleep coverage at the target frame: the frame's inherited sleep plus
     // the non-internal first actions of branches ordered before this
     // worker's own branch there (the eager ordered sleep set — identical
-    // content to the serial engine's completed-sibling sleep).
+    // content to the serial engine's completed-sibling sleep). Lock-free:
+    // inherited_sleep is immutable and the sibling prefix below our own
+    // branch index was published before that branch was.
     Node* f = w.path[k];
     const std::uint32_t anc = w.path[k + 1]->parent_branch;
     bool covered = false;
-    {
-      std::lock_guard<std::mutex> g(mu_);
-      for (const ActionFootprint& q : f->inherited_sleep) {
-        if (weak_initial_pos(q.action, v, mode_) != kNpos) {
-          covered = true;
-          break;
-        }
+    for (const ActionFootprint& q : f->inherited_sleep) {
+      if (weak_initial_pos(q.action, v, mode_) != kNpos) {
+        covered = true;
+        break;
       }
-      for (std::uint32_t i = 0; !covered && i < anc; ++i) {
-        const Branch& sib = f->branches[i];
-        if (sib.ev.internal) continue;  // internal arrivals never sleep
-        if (weak_initial_pos(sib.ev.action, v, mode_) != kNpos) covered = true;
-      }
+    }
+    for (std::uint32_t i = 0; !covered && i < anc; ++i) {
+      const Branch& sib = f->branches[i];
+      if (sib.ev.internal) continue;  // internal arrivals never sleep
+      if (weak_initial_pos(sib.ev.action, v, mode_) != kNpos) covered = true;
     }
     if (covered) continue;
 
@@ -431,10 +574,7 @@ void ParallelExplorer::scan_races(Worker& w, const ActionFootprint& ev) {
       }
     }
     ++w.stats.races_detected;
-    {
-      std::lock_guard<std::mutex> g(mu_);
-      w.stats.wakeup_nodes += insert_into_node(f, anc + 1, std::move(v));
-    }
+    w.stats.wakeup_nodes += insert_into_node(w, f, anc + 1, std::move(v));
     v.clear();
   }
   // Replay the executed prefix the simulations rewound.
@@ -451,29 +591,19 @@ Node* ParallelExplorer::execute_branch(Worker& w, Node* node, std::uint32_t bi,
   }
   if (transitions_.load(std::memory_order_relaxed) >= options_.max_transitions ||
       over_budget(w)) {
-    request_stop_truncated();
+    truncated_.store(true, std::memory_order_relaxed);
+    stop_.store(true, std::memory_order_relaxed);
     abort = true;
     return nullptr;
   }
 
-  // Snapshot this branch and its ordered-before siblings. Branch order is
-  // append-only, so the sibling prefix is frozen; later concurrent inserts
-  // only ever land at indices > bi.
-  ActionFootprint claimed;
-  std::vector<Action> before;  // non-internal earlier sibling first-actions
-  {
-    std::lock_guard<std::mutex> g(mu_);
-    Branch& b = node->branches[bi];
-    claimed = b.ev;
-    before.reserve(bi);
-    for (std::uint32_t i = 0; i < bi; ++i) {
-      if (!node->branches[i].ev.internal) {
-        before.push_back(node->branches[i].ev.action);
-      }
-    }
-  }
-
-  const Action action = claimed.action;
+  // The hot claim path is lock-free end to end: this branch is ours (the
+  // claim CAS already won), its ev is immutable, and the ordered-before
+  // sibling prefix [0, bi) was published before this branch was — branch
+  // order is append-only, so later concurrent inserts only ever land at
+  // indices > bi and cannot change what we read here.
+  Branch& b = node->branches[bi];
+  const Action action = b.ev.action;
   bool asleep = false;
   for (const ActionFootprint& q : node->inherited_sleep) {
     if (q.action == action) {
@@ -481,11 +611,9 @@ Node* ParallelExplorer::execute_branch(Worker& w, Node* node, std::uint32_t bi,
       break;
     }
   }
-  for (const Action& a : before) {
-    if (a == action) {
-      asleep = true;
-      break;
-    }
+  for (std::uint32_t i = 0; i < bi && !asleep; ++i) {
+    const Branch& sib = node->branches[i];
+    if (!sib.ev.internal && sib.ev.action == action) asleep = true;
   }
   if (asleep || !w.sys.action_enabled(action)) {
     // A raced duplicate: a concurrent claim committed to a linearization
@@ -493,8 +621,7 @@ Node* ParallelExplorer::execute_branch(Worker& w, Node* node, std::uint32_t bi,
     // set kills it here, before it contributes an execution, so the trace
     // counters stay serial-exact; only parallel_duplicates records it.
     ++w.stats.parallel_duplicates;
-    std::lock_guard<std::mutex> g(mu_);
-    node->branches[bi].state = BranchState::kDone;
+    retire(b);
     return nullptr;
   }
 
@@ -506,13 +633,18 @@ Node* ParallelExplorer::execute_branch(Worker& w, Node* node, std::uint32_t bi,
   std::vector<ActionFootprint> child_sleep;
   if (fresh.internal) {
     child_sleep = node->inherited_sleep;
-    for (const Action& a : before) child_sleep.push_back(w.sys.footprint(a));
+    for (std::uint32_t i = 0; i < bi; ++i) {
+      const Branch& sib = node->branches[i];
+      if (!sib.ev.internal) child_sleep.push_back(w.sys.footprint(sib.ev.action));
+    }
   } else {
     for (const ActionFootprint& q : node->inherited_sleep) {
       if (!mcapi::dependent(fresh, q, mode_)) child_sleep.push_back(q);
     }
-    for (const Action& a : before) {
-      const ActionFootprint q = w.sys.footprint(a);
+    for (std::uint32_t i = 0; i < bi; ++i) {
+      const Branch& sib = node->branches[i];
+      if (sib.ev.internal) continue;
+      const ActionFootprint q = w.sys.footprint(sib.ev.action);
       if (!mcapi::dependent(fresh, q, mode_)) child_sleep.push_back(q);
     }
   }
@@ -538,8 +670,6 @@ Node* ParallelExplorer::execute_branch(Worker& w, Node* node, std::uint32_t bi,
       }
     }
     stop_.store(true, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> g(mu_);
-    cv_.notify_all();
     abort = true;
     return nullptr;
   }
@@ -576,47 +706,49 @@ Node* ParallelExplorer::execute_branch(Worker& w, Node* node, std::uint32_t bi,
   std::vector<ActionFootprint> pick_fp;
   if (pick != nullptr) pick_fp.push_back(w.sys.footprint(*pick));
 
-  // Create the child frame and atomically re-route the branch's scheduled
-  // subtree into it: grafts before this instant land in b.subtree and are
-  // peeled here; grafts after it descend through b.child.
-  auto child = std::make_unique<Node>();
-  Node* cp = child.get();
+  // Create the child frame and — under the node's own mutex — re-route the
+  // branch's scheduled subtree into it: grafts before this instant land in
+  // b.subtree and are peeled here; grafts after it descend through
+  // b.child. Only this handoff locks; the child's branch list is built
+  // while the child is still unpublished.
+  Node* cp = new Node;
   cp->parent = node;
   cp->parent_branch = bi;
   cp->depth = node->depth + 1;
   cp->arrival = fresh;
   cp->inherited_sleep = std::move(child_sleep);
   cp->maximal = maximal;
-  bool sleep_blocked = false;
+  std::uint32_t child_branches = 0;
   {
-    std::lock_guard<std::mutex> g(mu_);
-    Branch& b = node->branches[bi];
+    std::lock_guard<std::mutex> g(node->mu);
     if (!maximal) {
       WakeupTree scheduled = std::move(b.subtree);
       while (!scheduled.empty()) {
         auto [ev2, sub2] = scheduled.pop_first();
-        Branch nb;
-        nb.ev = std::move(ev2);
-        nb.subtree = std::move(sub2);
-        cp->branches.push_back(std::move(nb));
+        cp->branches.append(cp, std::move(ev2), std::move(sub2),
+                            /*pick=*/false);
       }
-      if (cp->branches.empty() && !pick_fp.empty()) {
-        Branch nb;
-        nb.ev = std::move(pick_fp.front());
-        nb.pick = true;
-        cp->branches.push_back(std::move(nb));
+      child_branches = cp->branches.size_acquire();
+      if (child_branches == 0 && !pick_fp.empty()) {
+        cp->branches.append(cp, std::move(pick_fp.front()), WakeupTree{},
+                            /*pick=*/true);
+        child_branches = 1;
       }
-      sleep_blocked = cp->branches.empty();
-      std::size_t added = 0;
-      for (std::uint32_t i = 0; i < cp->branches.size(); ++i) {
-        work_.push_back({cp, i});
-        ++pending_;
-        ++added;
-      }
-      if (added > 1) cv_.notify_all();  // the worker itself claims one
     }
-    b.child = std::move(child);
-    if (maximal || sleep_blocked) b.state = BranchState::kDone;
+    b.child.store(cp, std::memory_order_release);
+  }
+  const bool sleep_blocked = !maximal && child_branches == 0;
+
+  // Expose the new branches to thieves, oldest-last so the deque's TOP
+  // (the steal end) holds branch 1 and the bottom pop — were this worker
+  // to come back for them — returns them in sibling order. Branch 0 is
+  // NOT pushed: this worker claims it directly in the descent loop, so a
+  // deque entry for it could only ever be a stale pop.
+  for (std::uint32_t i = child_branches; i-- > 1;) {
+    publish_work(w, cp->branches[i]);
+  }
+  if (child_branches > 0) {
+    outstanding_.fetch_add(1, std::memory_order_relaxed);  // branch 0
   }
 
   // Race scan for the fresh event — once per tree edge, by its first (and
@@ -647,6 +779,7 @@ Node* ParallelExplorer::execute_branch(Worker& w, Node* node, std::uint32_t bi,
       // duplicate, not an execution, so it charges no transitions.
       ++w.stats.parallel_duplicates;
     }
+    retire(b);
     w.sys.undo();
     w.events.pop_back();
     w.hb.pop_back();
@@ -665,20 +798,23 @@ void ParallelExplorer::explore(Worker& w, Node* entry, std::uint32_t entry_branc
     Node* child = execute_branch(w, node, bi, abort);
     if (abort) return;
     if (child != nullptr) node = child;
-    // Claim the next pending branch at the current frame, ascending (and
-    // marking finished branches done) until one is found or the claimed
-    // subtree is exhausted.
-    std::unique_lock<std::mutex> lock(mu_);
+    // Claim the next pending branch at the current frame — a lock-free CAS
+    // scan in sibling order — ascending (and retiring finished branches)
+    // until one is found or the claimed subtree is exhausted. The deque
+    // may still hold entries for branches claimed here; their claim CAS
+    // fails at the popper/thief and they are skipped.
     while (true) {
       if (stop_.load(std::memory_order_relaxed)) return;
       std::uint32_t next = kNoBranch;
-      for (std::uint32_t i = 0; i < node->branches.size(); ++i) {
-        if (node->branches[i].state == BranchState::kPending) {
-          node->branches[i].state = BranchState::kClaimed;
-          --pending_;
+      const std::uint32_t n = node->branches.size_acquire();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        Branch& c = node->branches[i];
+        if (c.state.load(std::memory_order_relaxed) != kStatePending) continue;
+        if (try_claim(c)) {
           next = i;
           break;
         }
+        ++w.stats.claim_conflicts;  // observed pending, lost the CAS
       }
       if (next != kNoBranch) {
         bi = next;
@@ -686,7 +822,7 @@ void ParallelExplorer::explore(Worker& w, Node* entry, std::uint32_t entry_branc
       }
       if (node == entry) return;  // claimed subtree fully explored
       Node* parent = node->parent;
-      parent->branches[node->parent_branch].state = BranchState::kDone;
+      retire(parent->branches[node->parent_branch]);
       w.sys.undo();
       w.events.pop_back();
       w.hb.pop_back();
@@ -712,6 +848,8 @@ void ParallelExplorer::navigate(Worker& w, Node* target) {
     w.hb.pop_back();
     w.path.pop_back();
   }
+  const std::uint64_t replayed = w.chain.size() - common;
+  w.stats.max_replay_depth = std::max(w.stats.max_replay_depth, replayed);
   for (std::size_t d = common; d < w.chain.size(); ++d) {
     Node* n = w.chain[d];
     // The stored arrival footprint was computed at this exact state by the
@@ -722,45 +860,65 @@ void ParallelExplorer::navigate(Worker& w, Node* target) {
   }
 }
 
-void ParallelExplorer::worker_main() {
-  Worker w(program_, mode_);
+Branch* ParallelExplorer::steal_round(Worker& w) {
+  const std::uint32_t n = static_cast<std::uint32_t>(deques_.size());
+  if (n <= 1) return nullptr;
+  // splitmix-style advance; the high bits pick the starting victim.
+  w.rng = w.rng * 6364136223846793005ull + 1442695040888963407ull;
+  const std::uint32_t start = static_cast<std::uint32_t>((w.rng >> 33) % n);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    const std::uint32_t v = (start + k) % n;
+    if (v == w.id) continue;
+    bool lost = false;
+    do {
+      if (Branch* b = deques_[v]->steal(lost)) return b;
+    } while (lost);  // lost CAS means work exists: retry this victim
+  }
+  return nullptr;
+}
+
+void ParallelExplorer::worker_main(std::uint32_t id) {
+  Worker w(program_, mode_, id);
   w.sys.enable_undo_log();
   w.path.push_back(&root_);
 
-  std::unique_lock<std::mutex> lock(mu_);
-  while (true) {
-    if (done_ || stop_.load(std::memory_order_relaxed)) break;
-    WorkItem item;
-    bool have = false;
-    while (!work_.empty()) {
-      item = work_.back();
-      work_.pop_back();
-      if (item.node->branches[item.branch].state != BranchState::kPending) {
-        continue;  // stale entry: claimed via a worker's local descent
+  std::uint32_t idle_rounds = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Branch* b = deques_[id]->pop();
+    const bool stolen = b == nullptr;
+    if (stolen) {
+      b = steal_round(w);
+      if (b == nullptr) {
+        ++w.stats.steal_failures;
+        // Steal-round quiescence: nothing to pop, nothing to steal — if no
+        // branch anywhere is live, the exploration is complete. Otherwise
+        // a busy worker may still publish work; back off and retry (yield
+        // first, short sleeps once the fleet is clearly draining).
+        if (outstanding_.load(std::memory_order_acquire) == 0) break;
+        if (idle_rounds < 4) {
+          std::this_thread::yield();
+        } else {
+          const std::uint32_t shift = std::min(idle_rounds - 4u, 5u);
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(std::uint64_t{25} << shift));
+        }
+        ++idle_rounds;
+        continue;
       }
-      item.node->branches[item.branch].state = BranchState::kClaimed;
-      --pending_;
-      have = true;
-      break;
+      ++w.stats.steals;
     }
-    if (have) {
-      lock.unlock();
-      navigate(w, item.node);
-      explore(w, item.node, item.branch);
-      lock.lock();
+    idle_rounds = 0;
+    if (!try_claim(*b)) {
+      // Stale deque entry (the owner claimed it during its own descent) or
+      // a genuinely lost race; either way someone else runs it. Own-deque
+      // staleness is the common, uncontended case — only a stolen entry
+      // that slips away counts as a conflict.
+      if (stolen) ++w.stats.claim_conflicts;
       continue;
     }
-    MCSYM_ASSERT(pending_ == 0);  // every pending branch has a work_ entry
-    if (busy_ == 1) {
-      done_ = true;
-      cv_.notify_all();
-      break;
-    }
-    --busy_;
-    cv_.wait(lock);
-    ++busy_;
+    navigate(w, b->owner);
+    explore(w, b->owner, b->index);
   }
-  lock.unlock();
 
   std::lock_guard<std::mutex> g(result_mu_);
   DporStats& st = result_->stats;
@@ -772,6 +930,10 @@ void ParallelExplorer::worker_main() {
   st.wakeup_nodes += w.stats.wakeup_nodes;
   st.redundant_explorations += w.stats.redundant_explorations;
   st.parallel_duplicates += w.stats.parallel_duplicates;
+  st.steals += w.stats.steals;
+  st.steal_failures += w.stats.steal_failures;
+  st.claim_conflicts += w.stats.claim_conflicts;
+  st.max_replay_depth = std::max(st.max_replay_depth, w.stats.max_replay_depth);
 }
 
 void ParallelExplorer::run(DporResult& result) {
@@ -805,19 +967,21 @@ void ParallelExplorer::run(DporResult& result) {
     }
   }
   if (pick == nullptr) pick = &enabled.front();
-  Branch seed;
-  seed.ev = sys0.footprint(*pick);
-  seed.pick = true;
-  root_.branches.push_back(std::move(seed));
-  work_.push_back({&root_, 0});
-  pending_ = 1;
 
   const std::uint32_t n = options_.workers;
-  busy_ = n;
+  deques_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    deques_.push_back(std::make_unique<StealDeque<Branch>>());
+  }
+  Branch& seed = root_.branches.append(&root_, sys0.footprint(*pick),
+                                       WakeupTree{}, /*pick=*/true);
+  outstanding_.store(1, std::memory_order_relaxed);
+  deques_[0]->push(&seed);
+
   std::vector<std::thread> threads;
   threads.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    threads.emplace_back([this] { worker_main(); });
+    threads.emplace_back([this, i] { worker_main(i); });
   }
   for (std::thread& t : threads) t.join();
   if (truncated_.load(std::memory_order_relaxed)) result.truncated = true;

@@ -151,10 +151,20 @@ DporResult run_dpor_raw(Ctx& ctx, DporMode mode, EngineRun& run) {
                   {"sleep_prunes", result.stats.sleep_prunes},
                   {"redundant_explorations", result.stats.redundant_explorations}};
   // Surfaced only for threaded requests: the serial engine cannot produce
-  // duplicates, and the workers == 1 JSON report is golden-pinned.
+  // duplicates or scheduler traffic, and the workers == 1 JSON report is
+  // golden-pinned. `workers` echoes the resolved thread count (the CLI maps
+  // `--workers auto`/`0` to hardware concurrency before the request is
+  // built); the scheduler telemetry rows mirror DporStats — see dpor.hpp
+  // for what each one measures.
   if (ctx.request.workers > 1) {
     run.counters.emplace_back("parallel_duplicates",
                               result.stats.parallel_duplicates);
+    run.counters.emplace_back("workers", ctx.request.workers);
+    run.counters.emplace_back("steals", result.stats.steals);
+    run.counters.emplace_back("steal_failures", result.stats.steal_failures);
+    run.counters.emplace_back("claim_conflicts", result.stats.claim_conflicts);
+    run.counters.emplace_back("max_replay_depth",
+                              result.stats.max_replay_depth);
   }
   return result;
 }

@@ -104,7 +104,9 @@ Program pipeline(std::uint32_t stages, std::uint32_t items) {
   return p;
 }
 
-Program scatter_gather(std::uint32_t workers) {
+namespace {
+
+Program scatter_gather_base(std::uint32_t workers, bool naive_assert) {
   Program p;
   auto master = p.add_thread("master");
   const EndpointRef gather = p.add_endpoint("gather", master.ref());
@@ -125,8 +127,50 @@ Program scatter_gather(std::uint32_t workers) {
   for (std::uint32_t w = 0; w < workers; ++w) {
     master.recv(gather, "r" + std::to_string(w));
   }
-  // The naive belief that results arrive in scatter order: r0 came from w0.
-  master.assert_that(Cond{master.v("r0"), Rel::kEq, ThreadBuilder::c(1007)});
+  if (naive_assert) {
+    // The naive belief that results arrive in scatter order: r0 came from w0.
+    master.assert_that(Cond{master.v("r0"), Rel::kEq, ThreadBuilder::c(1007)});
+  }
+  p.finalize();
+  return p;
+}
+
+}  // namespace
+
+Program scatter_gather(std::uint32_t workers) {
+  return scatter_gather_base(workers, /*naive_assert=*/true);
+}
+
+Program scatter_gather_safe(std::uint32_t workers) {
+  return scatter_gather_base(workers, /*naive_assert=*/false);
+}
+
+Program token_fanout(std::uint32_t racers) {
+  Program p;
+  auto sink = p.add_thread("sink");
+  const EndpointRef sink_in = p.add_endpoint("sink_in", sink.ref());
+  std::vector<ThreadBuilder> rs;
+  std::vector<EndpointRef> gate;
+  std::vector<EndpointRef> out;
+  rs.reserve(racers);
+  for (std::uint32_t r = 0; r < racers; ++r) {
+    rs.push_back(p.add_thread("r" + std::to_string(r)));
+    gate.push_back(p.add_endpoint("gate" + std::to_string(r), rs.back().ref()));
+    out.push_back(p.add_endpoint("out" + std::to_string(r), rs.back().ref()));
+  }
+  auto master = p.add_thread("master");
+  const EndpointRef m_out = p.add_endpoint("m_out", master.ref());
+  master.send(m_out, gate[0], 1);
+  for (std::uint32_t r = 0; r < racers; ++r) {
+    rs[r].recv(gate[r], "t");
+    // Forward the token FIRST so downstream racers come online while this
+    // payload is still in flight — maximizing the live race frontier.
+    if (r + 1 < racers) rs[r].send(out[r], gate[r + 1], rs[r].v("t", 1));
+    rs[r].send(out[r], sink_in, 100 + static_cast<std::int64_t>(r));
+  }
+  for (std::uint32_t r = 0; r < racers; ++r) {
+    sink.recv(sink_in, "p" + std::to_string(r));
+  }
   p.finalize();
   return p;
 }

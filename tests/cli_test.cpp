@@ -6,11 +6,14 @@
 // so the tests run from any working directory.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #ifndef MCSYM_CLI_PATH
 #error "MCSYM_CLI_PATH must be defined by the build"
@@ -306,6 +309,39 @@ TEST(CliTest, VerifyWorkersFlagShardsTheEngines) {
       run_cli("verify " + stuck + " --engine=dpor --workers 4");
   EXPECT_EQ(deadlock.exit_code, 1) << deadlock.output;
   EXPECT_NE(deadlock.output.find("verdict: deadlock"), std::string::npos);
+}
+
+TEST(CliTest, VerifyWorkersAutoResolvesToHardwareConcurrency) {
+  // --workers auto (and its alias --workers 0) resolve to the machine's
+  // hardware concurrency, clamped to [1, 64], and the resolved count is
+  // echoed as the "workers" counter in the parallel DPOR engine row. The
+  // expectation is computed the same way the CLI computes it, so the test
+  // is exact on any host — including a single-core one, where auto
+  // resolves to 1 and the worker-only counters legitimately don't exist.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::uint32_t resolved = std::clamp(hw == 0 ? 1u : hw, 1u, 64u);
+  for (const char* flag : {"auto", "0"}) {
+    SCOPED_TRACE(flag);
+    // --engine=dpor on figure1: assert-free, so the DPOR row is "safe" —
+    // what matters here is the counter set of the parallel row.
+    const CliResult r = run_cli("verify " + figure1() + " --engine=dpor --workers " +
+                                std::string(flag) + " --json");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("\"verdict\": \"safe\""), std::string::npos);
+    if (resolved > 1) {
+      EXPECT_NE(r.output.find("\"workers\": " + std::to_string(resolved)),
+                std::string::npos)
+          << r.output;
+      for (const char* key : {"\"steals\"", "\"steal_failures\"",
+                              "\"claim_conflicts\"", "\"max_replay_depth\""}) {
+        EXPECT_NE(r.output.find(key), std::string::npos) << key;
+      }
+    } else {
+      // Resolved to serial: the golden-pinned workers == 1 report, with no
+      // worker-only counters.
+      EXPECT_EQ(r.output.find("\"parallel_duplicates\""), std::string::npos);
+    }
+  }
 }
 
 TEST(CliTest, SeedSelectsDifferentSchedules) {

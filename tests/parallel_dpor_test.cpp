@@ -17,7 +17,8 @@
 // The random battery scales with MCSYM_TEST_ITERS (default 200 seeds; CI's
 // sanitizer jobs trim it, nightly cranks it). This suite is also the
 // ThreadSanitizer workload for the parallel engine: every test hammers the
-// shared tree from workers ∈ {2, 4, 8}.
+// shared tree from workers ∈ {2, 4, 8, 16}, and the steal-path battery
+// adds narrow-root workloads where helping at all REQUIRES stealing.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -33,7 +34,7 @@ namespace {
 
 namespace wl = workloads;
 
-constexpr std::uint32_t kWorkerCounts[] = {1, 2, 4, 8};
+constexpr std::uint32_t kWorkerCounts[] = {1, 2, 4, 8, 16};
 
 DporResult run_optimal(const mcapi::Program& p, std::uint32_t workers) {
   DporOptions opts;
@@ -217,6 +218,94 @@ TEST(ParallelDporTest, BudgetsTruncateSharded) {
     wopts.max_seconds = 1e-9;
     const DporResult wr = DporChecker(p, wopts).run();
     EXPECT_TRUE(wr.truncated) << "workers=" << workers;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Steal-path battery: narrow-root workloads where the exploration tree
+// starts as a single path, so a sharded run can only use its extra workers
+// by STEALING from inside the first worker's subtree — the work-stealing
+// scheduler's raison d'être. The contract is the same serial-identity as
+// everywhere else; what these cases add is that the identity holds when
+// essentially every branch a non-first worker runs arrived via steal().
+// ---------------------------------------------------------------------------
+
+// token_fanout: exactly one action enabled at the root (the token
+// injection; every other thread blocks on a gate receive), then a racers!
+// payload race once the token has threaded through. scatter_gather_safe:
+// the symmetric wide-frontier shape the bench gates on. Both safe, so the
+// full trace space is explored at every worker count.
+TEST(ParallelDporTest, StealPathBatteryMatchesSerial) {
+  struct Case {
+    const char* name;
+    mcapi::Program program;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"token_fanout(4)", wl::token_fanout(4)});
+  cases.push_back({"token_fanout(5)", wl::token_fanout(5)});
+  cases.push_back({"scatter_gather_safe(3)", wl::scatter_gather_safe(3)});
+  cases.push_back({"scatter_gather_safe(4)", wl::scatter_gather_safe(4)});
+  for (Case& c : cases) {
+    const DporResult serial = run_optimal(c.program, 1);
+    ASSERT_FALSE(serial.truncated) << c.name;
+    EXPECT_EQ(serial.stats.redundant_explorations, 0u) << c.name;
+    for (const std::uint32_t workers : {2u, 4u, 8u}) {
+      const DporResult r = run_optimal(c.program, workers);
+      SCOPED_TRACE(std::string(c.name) + " workers=" +
+                   std::to_string(workers));
+      EXPECT_FALSE(r.truncated);
+      EXPECT_FALSE(r.violation_found);
+      EXPECT_FALSE(r.deadlock_found);
+      EXPECT_EQ(r.stats.executions, serial.stats.executions);
+      EXPECT_EQ(r.stats.terminal_states, serial.stats.terminal_states);
+      EXPECT_EQ(r.stats.transitions, serial.stats.transitions);
+      EXPECT_EQ(r.stats.redundant_explorations, 0u);
+    }
+  }
+}
+
+// Scheduler telemetry invariants. The VALUES are timing-dependent (they
+// count scheduling work, like races_detected), so the pins are structural:
+// serial runs report all-zero telemetry, and in a sharded run every worker
+// other than the seed-holder must log at least one steal or one failed
+// steal round before it can touch any work — so steals + steal_failures
+// >= workers - 1 unconditionally, even on a single-core host where the
+// fleet mostly arrives after the tree is drained.
+TEST(ParallelDporTest, SchedulerTelemetryInvariants) {
+  const mcapi::Program p = wl::token_fanout(5);
+  const DporResult serial = run_optimal(p, 1);
+  EXPECT_EQ(serial.stats.steals, 0u);
+  EXPECT_EQ(serial.stats.steal_failures, 0u);
+  EXPECT_EQ(serial.stats.claim_conflicts, 0u);
+  EXPECT_EQ(serial.stats.max_replay_depth, 0u);
+  EXPECT_EQ(serial.stats.parallel_duplicates, 0u);
+  for (const std::uint32_t workers : {2u, 4u, 8u}) {
+    const DporResult r = run_optimal(p, workers);
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    EXPECT_GE(r.stats.steals + r.stats.steal_failures,
+              static_cast<std::uint64_t>(workers) - 1);
+    // A replay can never be deeper than the longest execution, and a
+    // stolen branch is replayed from the root at most once per claim.
+    EXPECT_LE(r.stats.max_replay_depth, serial.stats.transitions);
+  }
+}
+
+// Steal-heavy stress case, sized for the TSan CI leg (this suite is the
+// sanitizer workload for the parallel engine): a deeper token chain whose
+// fanout keeps all 8 workers stealing against each other for the whole
+// run, hammering the claim CAS, the deque top_ CAS, the node-local graft
+// locks, and the quiescence counter at once.
+TEST(ParallelDporTest, StealHeavyStressMatchesSerial) {
+  const mcapi::Program p = wl::token_fanout(6);
+  const DporResult serial = run_optimal(p, 1);
+  ASSERT_FALSE(serial.truncated);
+  for (const std::uint32_t workers : {4u, 8u}) {
+    const DporResult r = run_optimal(p, workers);
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    EXPECT_FALSE(r.truncated);
+    EXPECT_EQ(r.stats.executions, serial.stats.executions);
+    EXPECT_EQ(r.stats.terminal_states, serial.stats.terminal_states);
+    EXPECT_EQ(r.stats.transitions, serial.stats.transitions);
   }
 }
 

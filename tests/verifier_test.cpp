@@ -5,10 +5,12 @@
 // bump "mcsym.verify/1" and update the goldens in the same commit.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "check/verifier.hpp"
 #include "check/workloads.hpp"
@@ -307,9 +309,14 @@ TEST(VerifierTest, ConcurrentPortfolioSharesTheWallClock) {
 }
 
 TEST(VerifierTest, ShardedDporEngineReportsThroughTheFacade) {
-  // --workers on the single DPOR engine: the sharded run keeps the serial
-  // trace counters (90 traces for message_race(3,2)) and the report grows
-  // the parallel_duplicates counter that only exists when workers > 1.
+  // --workers on the single DPOR engine: the work-stealing run keeps the
+  // serial trace counters (90 traces for message_race(3,2)) and the report
+  // grows the counters that only exist when workers > 1: the raced
+  // duplicates, the resolved worker count, and the scheduler telemetry
+  // (steals / steal_failures / claim_conflicts / max_replay_depth). The
+  // telemetry VALUES are timing-dependent, so only presence and the echoed
+  // worker count are pinned here; the value invariants live in
+  // parallel_dpor_test.
   const Program p = workloads::message_race(3, 2);
   VerifyRequest req;
   req.engine = Engine::kDporOptimal;
@@ -319,13 +326,19 @@ TEST(VerifierTest, ShardedDporEngineReportsThroughTheFacade) {
   EXPECT_EQ(report.verdict, Verdict::kSafe);
   ASSERT_EQ(report.engines.size(), 1u);
   std::uint64_t executions = 0;
-  bool saw_duplicates = false;
+  std::uint64_t workers_echo = 0;
+  std::vector<std::string> seen;
   for (const auto& [name, value] : report.engines.front().counters) {
     if (name == "executions") executions = value;
-    if (name == "parallel_duplicates") saw_duplicates = true;
+    if (name == "workers") workers_echo = value;
+    seen.push_back(name);
   }
   EXPECT_EQ(executions, 90u);
-  EXPECT_TRUE(saw_duplicates);
+  EXPECT_EQ(workers_echo, 4u);
+  for (const char* key : {"parallel_duplicates", "steals", "steal_failures",
+                          "claim_conflicts", "max_replay_depth"}) {
+    EXPECT_NE(std::find(seen.begin(), seen.end(), key), seen.end()) << key;
+  }
 }
 
 TEST(VerifierTest, ShardedSymbolicStageIsByteIdenticalToSerial) {
@@ -333,16 +346,21 @@ TEST(VerifierTest, ShardedSymbolicStageIsByteIdenticalToSerial) {
   // judged serially in trace-index order, so the whole JSON report —
   // verdicts, witnesses, counters, portfolio stats — must be byte-identical
   // to the serial run at every worker count (timing fields zeroed, the one
-  // nondeterministic ingredient). The sole legitimate worker-count artifact
-  // is the DPOR engines' parallel_duplicates counter, which only exists
-  // when workers > 1; it is stripped before comparing.
+  // nondeterministic ingredient). The only legitimate worker-count
+  // artifacts are the DPOR engines' worker-only counters (duplicates,
+  // echoed worker count, scheduler telemetry), which exist solely when
+  // workers > 1; they are stripped before comparing.
   const auto strip_parallel_duplicates = [](std::string json) {
-    const std::string key = ", \"parallel_duplicates\": ";
-    for (std::size_t at = json.find(key); at != std::string::npos;
-         at = json.find(key, at)) {
-      std::size_t end = at + key.size();
-      while (end < json.size() && std::isdigit(json[end]) != 0) ++end;
-      json.erase(at, end - at);
+    for (const char* name :
+         {"parallel_duplicates", "workers", "steals", "steal_failures",
+          "claim_conflicts", "max_replay_depth"}) {
+      const std::string key = std::string(", \"") + name + "\": ";
+      for (std::size_t at = json.find(key); at != std::string::npos;
+           at = json.find(key, at)) {
+        std::size_t end = at + key.size();
+        while (end < json.size() && std::isdigit(json[end]) != 0) ++end;
+        json.erase(at, end - at);
+      }
     }
     return json;
   };

@@ -4,6 +4,7 @@
 Usage:
     bench_gate.py OLD.json NEW.json [--benchmark NAME ...] [--max-ratio R]
                   [--speedup FAST:BASE:MIN ...]
+                  [--min-counter BENCH:COUNTER:MIN ...]
 
 Fails (exit 1) when any named benchmark's time in NEW exceeds max-ratio x
 its time in OLD. Benchmarks named but missing from OLD are reported and
@@ -23,6 +24,13 @@ uses it to pin the parallel DPOR scaling floor, e.g.
 BM_Dpor_Parallel_MessageRace/4/4/real_time (4 workers) against .../4/1/
 real_time (serial) at 2.5x. Either side missing from NEW is a hard
 failure.
+
+--min-counter BENCH:COUNTER:MIN (repeatable) gates a user counter of one
+benchmark in NEW.json: fail unless counters[COUNTER] >= MIN. The nightly
+uses it as the nonzero-steals sanity check — the wide scatter/gather
+workload at 8 workers must report steals >= 1, proving the work-stealing
+scheduler actually moved work between deques rather than scaling by luck
+of the initial split. Benchmark or counter missing is a hard failure.
 
 The nightly workflow feeds this with the previous run's bench-json
 artifact, turning the accumulating perf trajectory into an alarm instead
@@ -47,19 +55,29 @@ def annotate(level, message):
         print(f"{level}: {message}")
 
 
+def load_entries(path):
+    """benchmark name -> raw JSON entry, aggregates excluded.
+
+    User counters appear as top-level numeric keys of the entry, next to
+    real_time/cpu_time — the counter gate reads them straight off it.
+    """
+    with open(path) as f:
+        data = json.load(f)
+    return {
+        bench["name"]: bench
+        for bench in data.get("benchmarks", [])
+        if bench.get("run_type") != "aggregate"
+    }
+
+
 def load_times(path):
     """benchmark name -> gated time (ns), aggregates excluded.
 
     UseRealTime benchmarks (name suffix "/real_time") gate on real_time;
     everything else on cpu_time.
     """
-    with open(path) as f:
-        data = json.load(f)
     times = {}
-    for bench in data.get("benchmarks", []):
-        if bench.get("run_type") == "aggregate":
-            continue
-        name = bench["name"]
+    for name, bench in load_entries(path).items():
         field = "real_time" if name.endswith("/real_time") else "cpu_time"
         times[name] = float(bench[field])
     return times
@@ -89,13 +107,21 @@ def main():
         help="intra-run ratio gate on NEW.json: fail unless "
         "time(BASE)/time(FAST) >= MIN (repeatable)",
     )
+    parser.add_argument(
+        "--min-counter",
+        action="append",
+        default=[],
+        metavar="BENCH:COUNTER:MIN",
+        help="counter floor gate on NEW.json: fail unless the named "
+        "benchmark's user counter is >= MIN (repeatable)",
+    )
     args = parser.parse_args()
-    # Speedup-only invocations (intra-NEW ratio gates) skip the default
-    # old-vs-new benchmark; naming none with no --speedup keeps the
+    # Ratio/counter-only invocations (intra-NEW gates) skip the default
+    # old-vs-new benchmark; naming none with neither gate keeps the
     # historical default.
     if args.benchmark is not None:
         benchmarks = args.benchmark
-    elif args.speedup:
+    elif args.speedup or args.min_counter:
         benchmarks = []
     else:
         benchmarks = ["BM_Dpor_MessageRace/4"]
@@ -153,9 +179,35 @@ def main():
         )
         failed |= speedup < min_s
 
+    new_entries = load_entries(args.new_json) if args.min_counter else {}
+    for spec in args.min_counter:
+        parts = spec.rsplit(":", 2)
+        if len(parts) != 3:
+            print(f"FAIL --min-counter '{spec}': expected BENCH:COUNTER:MIN")
+            failed = True
+            continue
+        bench, counter, floor = parts[0], parts[1], float(parts[2])
+        entry = new_entries.get(bench)
+        if entry is None:
+            print(f"FAIL counter {bench}: missing from {args.new_json}")
+            failed = True
+            continue
+        value = entry.get(counter)
+        if not isinstance(value, (int, float)):
+            print(f"FAIL counter {bench}: no counter '{counter}'")
+            failed = True
+            continue
+        verdict = "FAIL" if value < floor else "ok"
+        print(
+            f"{verdict} counter {bench} {counter}={value:.0f} "
+            f"(floor {floor:.0f})"
+        )
+        failed |= value < floor
+
     print(
         f"summary: {compared} compared, {len(skipped)} skipped, "
-        f"{len(args.speedup)} speedup gate(s)"
+        f"{len(args.speedup)} speedup gate(s), "
+        f"{len(args.min_counter)} counter gate(s)"
     )
     if benchmarks and compared == 0 and not failed:
         # Every named series was skipped: the gate ran but guarded nothing.

@@ -29,6 +29,7 @@
 //
 // Exit codes: 0 = success / verified safe; 1 = a violation or deadlock is
 // reachable; 2 = usage or input error; 3 = budget exhausted / no verdict.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -36,6 +37,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "check/diagnose.hpp"
@@ -53,6 +55,21 @@ using mcsym::check::SymbolicOptions;
 using mcsym::check::Verifier;
 using mcsym::check::VerifierService;
 using mcsym::text::ParseOutcome;
+
+/// Maps a --workers value to a thread count: "auto" or "0" resolve to the
+/// machine's hardware concurrency (1 when the runtime can't report it),
+/// anything else parses as a number. Clamped to [1, 64] — the schedulers
+/// degrade, not break, beyond physical cores, and the cap keeps a stray
+/// huge value from oversubscribing the host. The resolved count is what the
+/// Verifier request carries, so the parallel EngineRun row echoes it.
+std::uint32_t resolve_workers(const std::string& value) {
+  std::uint32_t n = 0;
+  if (value != "auto") {
+    n = static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+  }
+  if (n == 0) n = std::thread::hardware_concurrency();  // "auto"/"0"/garbage
+  return std::clamp(n, 1u, 64u);
+}
 
 constexpr const char* kUsage = R"(usage: mcsym COMMAND FILE.mcp [options]
        mcsym verify --batch MANIFEST [options]
@@ -91,10 +108,13 @@ verify options:
   --max-transitions N  DPOR budget (transitions executed)
   --conflicts N        CDCL conflict budget per solver query (default off)
   --traces N           traces to record and check (symbolic/portfolio, default 1)
-  --workers N          worker threads: shards DPOR exploration and the
-                       symbolic per-trace checks, and runs portfolio
-                       engines concurrently (default 1 = serial; reports
-                       are identical at every worker count)
+  --workers N          worker threads: work-stealing DPOR exploration,
+                       sharded symbolic per-trace checks, concurrent
+                       portfolio engines (default 1 = serial; verdicts are
+                       identical at every worker count). N may be `auto`
+                       or `0` to use all hardware threads (clamped to 64);
+                       the resolved count is echoed in the parallel
+                       engine row's counters
 
 common options:
   --seed N             scheduler seed for the recorded execution (default 1)
@@ -245,8 +265,7 @@ std::optional<Options> parse_args(int argc, char** argv) {
     } else if (a == "--workers") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
-      o.workers = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
-      if (o.workers == 0) o.workers = 1;
+      o.workers = resolve_workers(v);
     } else if (a == "-o") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
@@ -681,9 +700,7 @@ int cmd_serve(const Options& o) {
         ro.traces = static_cast<std::uint32_t>(
             std::strtoul(value.c_str(), nullptr, 10));
       } else if (key == "workers") {
-        ro.workers = static_cast<std::uint32_t>(
-            std::strtoul(value.c_str(), nullptr, 10));
-        if (ro.workers == 0) ro.workers = 1;
+        ro.workers = resolve_workers(value);
       } else if (key == "round-robin") {
         ro.round_robin = value != "0";
       } else if (key == "max-seconds") {
