@@ -1,0 +1,93 @@
+// Stateful exploration economics on the select_server_loop workload — the
+// loop re-enters structurally identical server states across client
+// interleavings, so the visited-state store should collapse most of the
+// re-exploration. Two axes:
+//
+//  * BM_Explicit_SelectServerLoop / BM_Dpor_SelectServerLoop pair a
+//    stateful run (range(1) == 1) against the stateless engine
+//    (range(1) == 0) at each client count, so the wall-clock ratio of the
+//    two rows IS the value of visited-state matching on this family.
+//  * The stateful rows export the store telemetry as counters; the nightly
+//    gate (tools/bench_gate.py --min-counter) reads `state_hits` off the
+//    explicit row to prove the store actually collapses revisits rather
+//    than merely shadowing the stateless fingerprint pruning.
+//
+// BM_Explicit_Livelock_NonTermination times the full livelock
+// classification — the run every stateless engine either spins on or
+// silently prunes: cycle detection, progress comparison, and lasso
+// extraction included.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "check/dpor.hpp"
+#include "check/explicit_checker.hpp"
+#include "check/workloads.hpp"
+
+namespace {
+
+using namespace mcsym;
+namespace wl = check::workloads;
+
+void export_state_counters(benchmark::State& state,
+                           const check::StateSpaceStats& stats) {
+  state.counters["visited_states"] = static_cast<double>(stats.visited_states);
+  state.counters["state_hits"] = static_cast<double>(stats.state_hits);
+  state.counters["states_dropped"] = static_cast<double>(stats.states_dropped);
+  state.counters["cycles_found"] = static_cast<double>(stats.cycles_found);
+}
+
+void BM_Explicit_SelectServerLoop(benchmark::State& state) {
+  const auto clients = static_cast<std::uint32_t>(state.range(0));
+  const bool stateful = state.range(1) != 0;
+  const mcapi::Program p = wl::select_server_loop(clients);
+  check::ExplicitOptions opts;
+  opts.stateful = stateful;
+  check::StateSpaceStats stats;
+  for (auto _ : state) {
+    check::ExplicitChecker checker(p, opts);
+    const auto r = checker.run();
+    stats = r.state_space;
+    benchmark::DoNotOptimize(r.states_expanded);
+  }
+  if (stateful) export_state_counters(state, stats);
+}
+BENCHMARK(BM_Explicit_SelectServerLoop)->ArgsProduct({{1, 2}, {0, 1}});
+
+void BM_Dpor_SelectServerLoop(benchmark::State& state) {
+  const auto clients = static_cast<std::uint32_t>(state.range(0));
+  const bool stateful = state.range(1) != 0;
+  const mcapi::Program p = wl::select_server_loop(clients);
+  check::DporOptions opts;
+  opts.stateful = stateful;
+  check::StateSpaceStats stats;
+  for (auto _ : state) {
+    check::DporChecker checker(p, opts);
+    const auto r = checker.run();
+    stats = r.stats.state_space;
+    benchmark::DoNotOptimize(r.stats.terminal_states);
+  }
+  if (stateful) export_state_counters(state, stats);
+}
+BENCHMARK(BM_Dpor_SelectServerLoop)->ArgsProduct({{1, 2}, {0, 1}});
+
+void BM_Explicit_Livelock_NonTermination(benchmark::State& state) {
+  const mcapi::Program p = wl::livelock_pair();
+  check::ExplicitOptions opts;
+  opts.stateful = true;
+  check::StateSpaceStats stats;
+  for (auto _ : state) {
+    check::ExplicitChecker checker(p, opts);
+    const auto r = checker.run();
+    stats = r.state_space;
+    benchmark::DoNotOptimize(r.non_termination_found);
+  }
+  export_state_counters(state, stats);
+  state.counters["nonprogressive_cycles"] =
+      static_cast<double>(stats.nonprogressive_cycles);
+}
+BENCHMARK(BM_Explicit_Livelock_NonTermination);
+
+}  // namespace
+
+BENCHMARK_MAIN();

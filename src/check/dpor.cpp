@@ -45,6 +45,16 @@ struct Frame {
   bool started = false;
 };
 
+/// Unregisters a CycleStack entry on scope exit (the sleep-set DFS has
+/// several early returns between registration and unwind).
+struct PopOnExit {
+  CycleStack* cs = nullptr;
+  std::uint64_t fp = 0;
+  ~PopOnExit() {
+    if (cs != nullptr) cs->pop(fp);
+  }
+};
+
 }  // namespace
 
 bool DporChecker::over_time_budget(const support::Stopwatch& timer) const {
@@ -90,6 +100,10 @@ void DporChecker::run_optimal(DporResult& result,
 
   std::vector<Frame> stack;
   stack.emplace_back();
+  // Stateful mode: each frame's registered on-path fingerprint (nullopt for
+  // frames cut before registration), parallel to `stack`.
+  std::vector<std::optional<std::uint64_t>> frame_fp;
+  if (options_.stateful) frame_fp.emplace_back();
   std::vector<ActionFootprint> events;  // E: footprints of the executed prefix
   std::vector<std::vector<bool>> hb;    // hb[i][k]: E[k] happens-before E[i]
   std::vector<Action> enabled;
@@ -158,6 +172,10 @@ void DporChecker::run_optimal(DporResult& result,
   // System is back at the parent's state; the parent's chosen action falls
   // asleep for the parent's remaining branches.
   auto pop_frame = [&] {
+    if (options_.stateful) {
+      if (frame_fp.back()) cycle_stack_.pop(*frame_fp.back());
+      frame_fp.pop_back();
+    }
     stack.pop_back();
     if (stack.empty()) return;
     Frame& parent = stack.back();
@@ -309,6 +327,41 @@ void DporChecker::run_optimal(DporResult& result,
         pop_frame();
         continue;
       }
+      if (options_.stateful) {
+        const std::uint64_t fp = sys.fingerprint();
+        if (const auto prev = cycle_stack_.find(fp)) {
+          // On-path revisit: cut regardless of progress (this is what
+          // bounds path length on cyclic programs), and classify — no
+          // match recorded between the visits means a realized livelock.
+          ++st.state_space.cycles_found;
+          if (sys.matches().size() <= prev->progress) {
+            ++st.state_space.nonprogressive_cycles;
+            if (!result.non_termination_found) {
+              result.non_termination_found = true;
+              const std::vector<Action> script = actions_of_prefix();
+              split_lasso(script, prev->depth, result.lasso_stem,
+                          result.lasso_cycle);
+            }
+          }
+          pop_frame();
+          continue;
+        }
+        if (stack[top].sleep.empty()) {
+          // Only sleep-free nodes are roots of complete subtrees, so only
+          // they are stored; a hit prunes only when no wakeup subtree is
+          // scheduled here (reversal sequences must never be discarded).
+          if (stack[top].wut.empty()) {
+            if (store_.visit(fp)) {
+              pop_frame();
+              continue;
+            }
+          } else if (!store_.contains(fp)) {
+            store_.insert(fp);
+          }
+        }
+        frame_fp.back() = fp;
+        cycle_stack_.push(fp, events.size(), sys.matches().size());
+      }
     }
 
     if (!stack[top].wut.empty()) {
@@ -349,6 +402,7 @@ void DporChecker::run_optimal(DporResult& result,
         }
       }
       stack.push_back(std::move(child));
+      if (options_.stateful) frame_fp.emplace_back();
       continue;
     }
 
@@ -433,6 +487,31 @@ void DporChecker::explore_sleepset(System& sys, std::vector<Action>& sleep,
     return;
   }
 
+  PopOnExit pop_guard;
+  if (options_.stateful) {
+    const std::uint64_t fp = sys.fingerprint();
+    if (const auto prev = cycle_stack_.find(fp)) {
+      ++result.stats.state_space.cycles_found;
+      if (sys.matches().size() <= prev->progress) {
+        ++result.stats.state_space.nonprogressive_cycles;
+        if (!result.non_termination_found) {
+          result.non_termination_found = true;
+          split_lasso(script, prev->depth, result.lasso_stem,
+                      result.lasso_cycle);
+        }
+      }
+      return;  // cut at any on-path revisit: bounds depth on cyclic programs
+    }
+    // Same conservative rule as optimal mode: only sleep-free nodes are
+    // stored, and only they prune on a hit — a node with a non-empty sleep
+    // set deliberately skips behaviors covered elsewhere, so its subtree
+    // is not a complete representative of this state's futures.
+    if (sleep.empty() && store_.visit(fp)) return;
+    cycle_stack_.push(fp, script.size(), sys.matches().size());
+    pop_guard.cs = &cycle_stack_;
+    pop_guard.fp = fp;
+  }
+
   // Local-first ample set: an internal step is independent of everything
   // and never disabled, so exploring it alone is sound — and the sleep set
   // is unchanged (no sleeping action depends on it).
@@ -490,6 +569,10 @@ void DporChecker::explore_sleepset(System& sys, std::vector<Action>& sleep,
 DporResult DporChecker::run() {
   const support::Stopwatch timer;
   DporResult result;
+  if (options_.stateful) {
+    store_ = VisitedStateStore(options_.state_capacity);
+    cycle_stack_.clear();
+  }
   if (options_.algorithm == DporMode::kSleepSet) {
     System sys(program_, options_.mode);
     sys.enable_undo_log();
@@ -497,10 +580,17 @@ DporResult DporChecker::run() {
     std::vector<Action> sleep;
     std::vector<Action> script;
     explore_sleepset(sys, sleep, script, result, timer);
-  } else if (options_.workers > 1) {
+  } else if (options_.workers > 1 && !options_.stateful) {
+    // Stateful exploration shares one store and one cycle stack across the
+    // whole search; it runs the serial optimal path regardless of workers.
     run_parallel(result, timer);
   } else {
     run_optimal(result, timer);
+  }
+  if (options_.stateful) {
+    result.stats.state_space.visited_states = store_.inserts();
+    result.stats.state_space.state_hits = store_.hits();
+    result.stats.state_space.states_dropped = store_.dropped();
   }
   result.seconds = timer.seconds();
   return result;

@@ -46,6 +46,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/state_space.hpp"
 #include "mcapi/system.hpp"
 #include "support/stats.hpp"
 
@@ -91,6 +92,26 @@ struct DporOptions {
   /// scheduling-work counters and depend on claim order. Sleep-set mode
   /// ignores this and always runs serially.
   std::uint32_t workers = 1;
+  /// Stateful exploration (check/state_space.hpp): cut descent at on-stack
+  /// fingerprint revisits (classifying non-progressive cycles into a
+  /// non-termination lasso) and prune subtrees whose root state was already
+  /// fully explored. The prefix-pruning rule is deliberately conservative
+  /// so trace counters stay honest: a state is stored, and a store hit
+  /// prunes, only at nodes whose sleep set is empty (nothing suppressed
+  /// here was covered on some other path) — and pruning additionally
+  /// requires an empty incoming wakeup subtree (scheduled race reversals
+  /// are never discarded by a hit). Cut paths are counted in the
+  /// state-space counters, never in executions/transitions. Forces the
+  /// serial optimal path: workers is ignored while stateful is set.
+  /// CAVEAT — cycle cutting interacts with wakeup-tree scheduling: a
+  /// reversal whose target lies beyond a cut revisit is dropped with the
+  /// cut, so on cyclic programs stateful DPOR is a terminating
+  /// semi-decision procedure for reachability, cross-checked against the
+  /// stateful explicit engine by the differential loop battery; on
+  /// loop-free programs verdicts and witnesses are unchanged.
+  bool stateful = false;
+  /// Visited-store capacity in states for stateful mode; 0 = unbounded.
+  std::size_t state_capacity = VisitedStateStore::kDefaultCapacity;
 };
 
 /// Exploration counters. `executions` counts every maximal explored path:
@@ -143,6 +164,8 @@ struct DporStats {
   /// worker onto claimed work (merged by max, not sum). Bounded by the
   /// longest execution; small values mean stolen work sat high in the tree.
   std::uint64_t max_replay_depth = 0;
+  /// Stateful exploration telemetry (options.stateful only; zero otherwise).
+  StateSpaceStats state_space;
 };
 
 struct DporResult {
@@ -152,6 +175,12 @@ struct DporResult {
   bool deadlock_found = false;
   /// Action schedule reaching the first deadlock found (replayable).
   std::vector<mcapi::Action> deadlock_schedule;
+
+  /// Stateful mode: a non-progressive cycle was realized; stem + cycle
+  /// form the replayable lasso witness (see ExplicitResult).
+  bool non_termination_found = false;
+  std::vector<mcapi::Action> lasso_stem;
+  std::vector<mcapi::Action> lasso_cycle;
 
   DporStats stats;
   bool truncated = false;
@@ -188,6 +217,10 @@ class DporChecker {
 
   const mcapi::Program& program_;
   DporOptions options_;
+  // Stateful mode: the bounded visited store and on-path fingerprints,
+  // reset per run(). Shared by the optimal loop and the sleep-set DFS.
+  VisitedStateStore store_{0};
+  CycleStack cycle_stack_;
   // Clock-read amortization for over_time_budget (single-threaded runs).
   mutable std::uint64_t budget_probe_ = 0;
   // Raw apply count driving max_transitions in the sleep-set DFS; the

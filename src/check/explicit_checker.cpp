@@ -125,7 +125,36 @@ void ExplicitChecker::dfs(System& sys, std::vector<Action>& script,
     sys.apply(a);
     ++result.transitions;
     bool pruned = false;
-    if (!options_.collect_matchings) {
+    bool registered = false;
+    std::uint64_t fp = 0;
+    if (options_.stateful && !options_.collect_matchings) {
+      fp = sys.fingerprint();
+      if (const auto prev = cycle_stack_.find(fp)) {
+        // An on-stack revisit closes a cycle. Descent stops here no matter
+        // what (cutting on ANY on-stack repeat is what bounds path length
+        // even when the store evicts); classification is what's new: a
+        // cycle with no message matched between the visits is a realized
+        // livelock and its lasso becomes the non-termination witness.
+        ++result.state_space.cycles_found;
+        if (sys.matches().size() <= prev->progress) {
+          ++result.state_space.nonprogressive_cycles;
+          if (!result.non_termination_found) {
+            result.non_termination_found = true;
+            script.push_back(a);
+            split_lasso(script, prev->depth, result.lasso_stem,
+                        result.lasso_cycle);
+            script.pop_back();
+          }
+        }
+        pruned = true;
+      } else if (store_.visit(fp)) {
+        ++result.state_space.state_hits;
+        pruned = true;
+      } else {
+        cycle_stack_.push(fp, script.size() + 1, sys.matches().size());
+        registered = true;
+      }
+    } else if (!options_.collect_matchings) {
       pruned = !visited_.insert(sys.fingerprint()).second;
     } else if (options_.dedup_histories) {
       // The history fingerprint covers match/branch records, so identical
@@ -137,6 +166,7 @@ void ExplicitChecker::dfs(System& sys, std::vector<Action>& script,
       dfs(sys, script, result, reference);
       script.pop_back();
     }
+    if (registered) cycle_stack_.pop(fp);
     sys.rollback(here);
     if (result.truncated) return;
     if (result.violation_found && !options_.collect_matchings) return;
@@ -153,11 +183,21 @@ ExplicitResult ExplicitChecker::run() {
   sys.enable_undo_log();
   if (options_.collect_matchings) {
     if (options_.dedup_histories) visited_histories_.insert(sys.history_fingerprint());
+  } else if (options_.stateful) {
+    store_ = VisitedStateStore(options_.state_capacity);
+    cycle_stack_.clear();
+    const std::uint64_t root = sys.fingerprint();
+    store_.insert(root);
+    cycle_stack_.push(root, 0, 0);
   } else {
     visited_.insert(sys.fingerprint());
   }
   std::vector<Action> script;
   dfs(sys, script, result, nullptr);
+  if (options_.stateful && !options_.collect_matchings) {
+    result.state_space.visited_states = store_.inserts();
+    result.state_space.states_dropped = store_.dropped();
+  }
   result.seconds = timer.seconds();
   timer_ = nullptr;
   return result;

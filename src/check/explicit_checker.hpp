@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "check/state_space.hpp"
 #include "match/match_set.hpp"
 #include "mcapi/system.hpp"
 #include "support/stats.hpp"
@@ -46,6 +47,20 @@ struct ExplicitOptions {
   /// naive enumeration; kept as the ablation baseline for bench E4).
   bool dedup_histories = true;
   std::uint64_t max_matchings = 1u << 20;
+  /// Stateful exploration (see check/state_space.hpp): visited states live
+  /// in an LRU-bounded VisitedStateStore with hit/miss/eviction telemetry,
+  /// on-stack revisits are cut and classified as cycles, and a
+  /// non-progressive cycle (no message matched between the visits) is
+  /// reported as a non-termination lasso. On loop-free programs the prune
+  /// set is identical to the stateless fingerprint pruning, so verdicts and
+  /// witnesses are byte-identical; on cyclic programs this is what makes
+  /// the search terminate WITH a classification instead of silently
+  /// pruning spin states. Ignored in collect_matchings mode.
+  bool stateful = false;
+  /// Visited-store capacity in states for stateful mode; 0 = unbounded.
+  /// Eviction trades re-exploration for bounded memory — termination is
+  /// preserved by the on-stack cycle cut, which never depends on the store.
+  std::size_t state_capacity = VisitedStateStore::kDefaultCapacity;
 };
 
 struct ExplicitResult {
@@ -55,6 +70,16 @@ struct ExplicitResult {
   std::vector<mcapi::Action> counterexample;
   bool deadlock_found = false;
   std::vector<mcapi::Action> deadlock_schedule;
+
+  /// Stateful mode: a non-progressive cycle was realized — the program can
+  /// run forever without externally visible progress. The witness is the
+  /// lasso: replay `lasso_stem` from the initial state to enter the cycle,
+  /// then `lasso_cycle` returns to the same semantic state.
+  bool non_termination_found = false;
+  std::vector<mcapi::Action> lasso_stem;
+  std::vector<mcapi::Action> lasso_cycle;
+  /// Stateful mode telemetry (all zero when options.stateful is false).
+  StateSpaceStats state_space;
 
   std::uint64_t states_expanded = 0;
   std::uint64_t transitions = 0;
@@ -100,6 +125,10 @@ class ExplicitChecker {
   ExplicitOptions options_;
   std::unordered_set<std::uint64_t> visited_;
   std::unordered_set<support::Hash128> visited_histories_;
+  // Stateful mode: the bounded visited store and the fingerprints of the
+  // current DFS path (cycle detection).
+  VisitedStateStore store_{0};
+  CycleStack cycle_stack_;
   const support::Stopwatch* timer_ = nullptr;  // live only inside run()
   // Clock-read / callback amortization for out_of_budget.
   mutable std::uint64_t budget_probe_ = 0;

@@ -161,6 +161,43 @@ Program random_program(std::uint64_t seed, RandomProgramOptions options) {
     builders[dl_a].recv(eps[dl_a], "dlx");
   }
 
+  // Loop mutation (see the header): appended after every straight-line
+  // phase so the loop-free prefix of the program is untouched, and all rng
+  // draws stay inside this branch (loop-free seeds are byte-stable).
+  if (options.allow_loops) {
+    const std::uint32_t iters =
+        1 + static_cast<std::uint32_t>(rng.below(
+                options.max_loop_iters > 0 ? options.max_loop_iters : 1));
+    const auto bound = ThreadBuilder::c(static_cast<std::int64_t>(iters));
+    const auto la = static_cast<std::uint32_t>(rng.below(options.threads));
+    if (options.threads >= 2 && rng.chance(1, 2)) {
+      // Stream loop: la sends a counted stream, lb drains it in a loop.
+      const auto lb =
+          (la + 1 +
+           static_cast<std::uint32_t>(rng.below(options.threads - 1))) %
+          options.threads;
+      builders[la]
+          .assign("lc", ThreadBuilder::c(0))
+          .label("lsend")
+          .send(eps[la], eps[lb], builders[la].v("lc", 900))
+          .assign("lc", builders[la].v("lc", 1))
+          .jump_if({builders[la].v("lc"), mcapi::Rel::kLt, bound}, "lsend");
+      builders[lb]
+          .assign("lr", ThreadBuilder::c(0))
+          .label("lrecv")
+          .recv(eps[lb], "lv")
+          .assign("lr", builders[lb].v("lr", 1))
+          .jump_if({builders[lb].v("lr"), mcapi::Rel::kLt, bound}, "lrecv");
+    } else {
+      // Local spin: a bounded pure-local back-edge on one thread.
+      builders[la]
+          .assign("lc", ThreadBuilder::c(0))
+          .label("lspin")
+          .assign("lc", builders[la].v("lc", 1))
+          .jump_if({builders[la].v("lc"), mcapi::Rel::kLt, bound}, "lspin");
+    }
+  }
+
   p.finalize();
   return p;
 }

@@ -44,6 +44,21 @@ struct RandomProgramOptions {
   ///    starves in exactly the executions where the race resolves the other
   ///    way (schedule-dependent deadlock, the interesting case).
   bool allow_deadlocks = false;
+  /// Apply one seeded loop mutation, adding a real back-edge (label +
+  /// jump_if) to the otherwise loop-free shape, drawn from two families:
+  ///  * local spin — one thread counts a bounded counter up through a
+  ///    jump_if back-edge (pure-local loop body, no messages);
+  ///  * stream loop — one thread sends a bounded counted stream to a
+  ///    partner, which drains it with a counted receive loop (messages
+  ///    produced and consumed inside loop bodies, counts still balanced).
+  /// Both are bounded, so generated programs still terminate — what changes
+  /// is that states now revisit program counters, which is exactly what the
+  /// stateful-vs-stateless differential battery needs. All extra rng draws
+  /// stay inside this option's branch, so loop-free seeds keep generating
+  /// the exact programs they always did.
+  bool allow_loops = false;
+  /// Iteration bound for allow_loops bodies (uniform in [1, max]).
+  std::uint32_t max_loop_iters = 3;
 };
 
 /// Generates a finalized program; identical (seed, options) pairs yield

@@ -67,6 +67,11 @@ void mix_request(support::StateHasher& h, const VerifyRequest& req) {
   h.mix(static_cast<std::uint64_t>(req.round_robin));
   h.mix(static_cast<std::uint64_t>(req.check_dpor_modes));
   h.mix(static_cast<std::uint64_t>(req.replay_witnesses));
+  // Stateful exploration changes the reachable verdict set (kNonTermination)
+  // and the report's counters; the store capacity changes which searches
+  // complete, so both join the key.
+  h.mix(static_cast<std::uint64_t>(req.stateful));
+  h.mix(static_cast<std::uint64_t>(req.state_capacity));
   // Non-wall-clock budgets gate how much of the state space an engine may
   // visit; only complete runs are cached, but a skipped symbolic trace
   // (max_run_steps) is not "truncation", so budgets stay in the key.
@@ -119,6 +124,7 @@ int verdict_exit(Verdict v) {
     case Verdict::kSafe: return 0;
     case Verdict::kViolation:
     case Verdict::kDeadlock: return 1;
+    case Verdict::kNonTermination: return 4;
     case Verdict::kBudgetExhausted:
     case Verdict::kUnknown: return 3;
   }
@@ -131,7 +137,8 @@ int verdict_exit(Verdict v) {
 bool cacheable(const VerifyReport& report) {
   if (report.cancelled) return false;
   if (report.verdict != Verdict::kSafe && report.verdict != Verdict::kViolation &&
-      report.verdict != Verdict::kDeadlock) {
+      report.verdict != Verdict::kDeadlock &&
+      report.verdict != Verdict::kNonTermination) {
     return false;
   }
   for (const EngineRun& run : report.engines) {

@@ -16,8 +16,8 @@
 //    the progress callback are excluded: they change how fast an answer
 //    arrives, never which answer is correct.
 //  * Only definitive, complete verdicts are cached (safe / violation /
-//    deadlock, not cancelled, no engine truncated), so a budget-starved
-//    answer can never shadow a real one.
+//    deadlock / non-termination, not cancelled, no engine truncated), so a
+//    budget-starved answer can never shadow a real one.
 //  * A hit returns the stored mcsym.verify/1 JSON byte-for-byte (the
 //    stored text IS the miss's serialization — timing fields show the
 //    original run) without constructing a single engine. An LRU bound
@@ -56,7 +56,7 @@ class VerifierService {
     bool cancelled = false;
     Verdict verdict = Verdict::kUnknown;
     /// CLI exit-code contract: 0 safe, 1 violation/deadlock, 2 input
-    /// error, 3 budget exhausted / no verdict.
+    /// error, 3 budget exhausted / no verdict, 4 non-termination.
     int exit_code = 2;
     double seconds = 0;      // wall clock spent serving this request
     std::string name;        // program name from the source text

@@ -1,0 +1,137 @@
+// Stateful exploration support: visited-state matching and cycle detection
+// over mcapi::System fingerprints.
+//
+// The stateless engines terminate only on finite-horizon programs; a
+// select_server-style loop keeps them descending forever (DPOR) or lets
+// them report a vacuous "safe" after fingerprint-pruning the spin states
+// without ever classifying them (explicit). This module gives every engine
+// the two primitives a stateful search needs:
+//
+//  * VisitedStateStore — an LRU/size-bounded hash set of semantic state
+//    fingerprints (System::fingerprint: pcs, locals, queues, requests —
+//    match/branch history excluded, so loop iterations that restore the
+//    state genuinely repeat). A hit means the state's future was already
+//    explored and the subtree can be cut. Hit/miss/eviction telemetry is
+//    kept so the cut rate is measurable, and eviction keeps memory bounded
+//    at the cost of re-exploration, never of soundness.
+//
+//  * CycleStack — the fingerprints of the current DFS path. Revisiting an
+//    on-stack fingerprint closes a cycle in the state graph; descent must
+//    stop there regardless of the store (eviction cannot unbound the path
+//    length). The cycle is NON-PROGRESSIVE when nothing externally visible
+//    happened between the two visits — no message matched (the match count
+//    is the progress signal; a fired assertion is terminal and part of the
+//    fingerprint, so it cannot sit inside a cycle). A non-progressive
+//    cycle is a real infinite behavior under an adversarial scheduler
+//    (a livelock / starvation lasso, à la SimGrid's check_non_termination)
+//    and yields Verdict::kNonTermination with the realized lasso — the
+//    stem (actions to the first visit) plus the cycle (actions between the
+//    visits) — as a replayable witness.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace mcsym::check {
+
+/// Telemetry of one stateful exploration, surfaced as mcsym.verify/1
+/// counters (visited_states / state_hits / states_dropped / cycles_found).
+struct StateSpaceStats {
+  std::uint64_t visited_states = 0;  // distinct fingerprints stored
+  std::uint64_t state_hits = 0;      // subtrees cut by a store hit
+  std::uint64_t states_dropped = 0;  // LRU evictions (capacity pressure)
+  std::uint64_t cycles_found = 0;    // on-stack revisits (any kind)
+  std::uint64_t nonprogressive_cycles = 0;  // livelock lassos among them
+};
+
+/// LRU-bounded set of visited-state fingerprints. A hit refreshes the
+/// entry; an insert at capacity evicts the least-recently-seen fingerprint
+/// (the exploration may then revisit that state — wasted work, bounded
+/// memory, no soundness impact because cycle cutting is the CycleStack's
+/// job, not the store's).
+class VisitedStateStore {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  /// capacity == 0 means unbounded (no eviction).
+  explicit VisitedStateStore(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  /// Lookup-and-record: returns true (a hit, entry refreshed) when `fp`
+  /// is stored, otherwise inserts it (evicting if at capacity) and
+  /// returns false.
+  bool visit(std::uint64_t fp);
+
+  /// Pure lookup; no counters, no LRU motion.
+  [[nodiscard]] bool contains(std::uint64_t fp) const {
+    return map_.find(fp) != map_.end();
+  }
+
+  /// Insert without the hit path (caller already knows `fp` is absent).
+  void insert(std::uint64_t fp);
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t inserts() const { return inserts_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  void clear();
+
+ private:
+  void evict_to_capacity();
+
+  std::size_t capacity_;
+  std::list<std::uint64_t> lru_;  // front = most recently seen
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t inserts_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Fingerprints of the states on the current DFS path, each with the depth
+/// it was reached at and the progress marker (match count) observed there.
+/// Since every engine cuts descent at the first on-stack revisit, the
+/// fingerprints on the stack are pairwise distinct and a flat map suffices.
+class CycleStack {
+ public:
+  struct Visit {
+    std::size_t depth;     // actions applied when the state was first seen
+    std::size_t progress;  // matches().size() at that visit
+  };
+
+  /// The previous on-stack visit of `fp`, if any (a closed cycle).
+  [[nodiscard]] std::optional<Visit> find(std::uint64_t fp) const {
+    const auto it = frames_.find(fp);
+    if (it == frames_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void push(std::uint64_t fp, std::size_t depth, std::size_t progress) {
+    frames_.emplace(fp, Visit{depth, progress});
+  }
+  void pop(std::uint64_t fp) { frames_.erase(fp); }
+  void clear() { frames_.clear(); }
+  [[nodiscard]] std::size_t size() const { return frames_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, Visit> frames_;
+};
+
+/// Splits the realized path `script` at `depth` into the lasso witness:
+/// stem = script[0, depth), cycle = script[depth, end). Replaying the stem
+/// reaches the cycle's entry state; replaying the cycle from there returns
+/// to it (same fingerprint), which is what makes the witness checkable.
+template <typename ActionT>
+void split_lasso(const std::vector<ActionT>& script, std::size_t depth,
+                 std::vector<ActionT>& stem, std::vector<ActionT>& cycle) {
+  stem.assign(script.begin(),
+              script.begin() + static_cast<std::ptrdiff_t>(depth));
+  cycle.assign(script.begin() + static_cast<std::ptrdiff_t>(depth),
+               script.end());
+}
+
+}  // namespace mcsym::check

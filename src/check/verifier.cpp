@@ -22,9 +22,11 @@ namespace {
 /// eager, and neutral network behavior (the differential harness's cycle).
 constexpr double kBiases[] = {1.0, 0.5, 2.0};
 
-[[nodiscard]] Verdict verdict_from(bool violation, bool deadlock, bool truncated) {
+[[nodiscard]] Verdict verdict_from(bool violation, bool deadlock,
+                                   bool non_termination, bool truncated) {
   if (violation) return Verdict::kViolation;
   if (deadlock) return Verdict::kDeadlock;
+  if (non_termination) return Verdict::kNonTermination;
   if (truncated) return Verdict::kBudgetExhausted;
   return Verdict::kSafe;
 }
@@ -97,6 +99,8 @@ ExplicitResult run_explicit_raw(Ctx& ctx, EngineRun& run) {
   eo.mode = ctx.request.mode;
   eo.max_states = ctx.request.budget.max_states;
   eo.max_seconds = ctx.engine_seconds();
+  eo.stateful = ctx.request.stateful;
+  eo.state_capacity = ctx.request.state_capacity;
   if (ctx.request.progress) {
     eo.interrupted = [&ctx] { return !ctx.fire(Engine::kExplicit, "explore"); };
   }
@@ -106,11 +110,21 @@ ExplicitResult run_explicit_raw(Ctx& ctx, EngineRun& run) {
   run.engine = Engine::kExplicit;
   run.truncated = result.truncated;
   run.verdict = verdict_from(result.violation_found, result.deadlock_found,
-                             result.truncated);
+                             result.non_termination_found, result.truncated);
   run.seconds = result.seconds;
   run.counters = {{"states_expanded", result.states_expanded},
                   {"transitions", result.transitions},
                   {"terminal_states", result.terminal_states}};
+  // Surfaced only for stateful requests: the stateless JSON report is
+  // golden-pinned and carries no state-space telemetry.
+  if (ctx.request.stateful) {
+    run.counters.emplace_back("visited_states",
+                              result.state_space.visited_states);
+    run.counters.emplace_back("state_hits", result.state_space.state_hits);
+    run.counters.emplace_back("states_dropped",
+                              result.state_space.states_dropped);
+    run.counters.emplace_back("cycles_found", result.state_space.cycles_found);
+  }
   return result;
 }
 
@@ -132,6 +146,8 @@ DporResult run_dpor_raw(Ctx& ctx, DporMode mode, EngineRun& run) {
   dopts.max_transitions = ctx.request.budget.max_transitions;
   dopts.max_seconds = ctx.engine_seconds();
   dopts.workers = ctx.request.workers;
+  dopts.stateful = ctx.request.stateful;
+  dopts.state_capacity = ctx.request.state_capacity;
   if (ctx.request.progress) {
     dopts.interrupted = [&ctx, engine] { return !ctx.fire(engine, "explore"); };
   }
@@ -141,7 +157,7 @@ DporResult run_dpor_raw(Ctx& ctx, DporMode mode, EngineRun& run) {
   run.engine = engine;
   run.truncated = result.truncated;
   run.verdict = verdict_from(result.violation_found, result.deadlock_found,
-                             result.truncated);
+                             result.non_termination_found, result.truncated);
   run.seconds = result.seconds;
   run.counters = {{"transitions", result.stats.transitions},
                   {"executions", result.stats.executions},
@@ -165,6 +181,17 @@ DporResult run_dpor_raw(Ctx& ctx, DporMode mode, EngineRun& run) {
     run.counters.emplace_back("claim_conflicts", result.stats.claim_conflicts);
     run.counters.emplace_back("max_replay_depth",
                               result.stats.max_replay_depth);
+  }
+  // Stateful telemetry mirrors the explicit engine's rows (see above).
+  if (ctx.request.stateful) {
+    run.counters.emplace_back("visited_states",
+                              result.stats.state_space.visited_states);
+    run.counters.emplace_back("state_hits",
+                              result.stats.state_space.state_hits);
+    run.counters.emplace_back("states_dropped",
+                              result.stats.state_space.states_dropped);
+    run.counters.emplace_back("cycles_found",
+                              result.stats.state_space.cycles_found);
   }
   return result;
 }
@@ -628,7 +655,7 @@ void judge_symbolic(Ctx& ctx, SymbolicProduction prod,
   run.verdict =
       assert_props
           ? Verdict::kUnknown
-          : verdict_from(violation, deadlock,
+          : verdict_from(violation, deadlock, false,
                          truncated || exhausted || skipped > 0 || checked == 0);
   run.seconds = prod.seconds + judge_timer.seconds();
   run.counters = {{"traces_recorded", recorded},
@@ -737,6 +764,10 @@ void run_portfolio(Ctx& ctx) {
     if (truth.violation.has_value()) report.violations = {*truth.violation};
     report.witness_schedule = truth.counterexample;
   }
+  if (truth.non_termination_found) {
+    report.lasso_stem = truth.lasso_stem;
+    report.lasso_cycle = truth.lasso_cycle;
+  }
 
   const bool observers = has_observer_ops(ctx.program);
   if (concurrent) {
@@ -770,7 +801,8 @@ void run_portfolio(Ctx& ctx) {
     report.verdict = Verdict::kBudgetExhausted;
   } else {
     report.verdict = verdict_from(truth.violation_found || symbolic_violation,
-                                  truth.deadlock_found, false);
+                                  truth.deadlock_found,
+                                  truth.non_termination_found, false);
   }
 }
 
@@ -854,6 +886,7 @@ const char* verdict_name(Verdict verdict) {
     case Verdict::kSafe: return "safe";
     case Verdict::kViolation: return "violation";
     case Verdict::kDeadlock: return "deadlock";
+    case Verdict::kNonTermination: return "non-termination";
     case Verdict::kBudgetExhausted: return "budget-exhausted";
     case Verdict::kUnknown: return "unknown";
   }
@@ -890,6 +923,10 @@ VerifyReport Verifier::verify(const mcapi::Program& program,
         report.witness_schedule = r.counterexample;
       }
       if (r.deadlock_found) report.deadlock_schedule = r.deadlock_schedule;
+      if (r.non_termination_found) {
+        report.lasso_stem = r.lasso_stem;
+        report.lasso_cycle = r.lasso_cycle;
+      }
       break;
     }
     case Engine::kDporOptimal:
@@ -904,6 +941,10 @@ VerifyReport Verifier::verify(const mcapi::Program& program,
         report.witness_schedule = r.counterexample;
       }
       if (r.deadlock_found) report.deadlock_schedule = r.deadlock_schedule;
+      if (r.non_termination_found) {
+        report.lasso_stem = r.lasso_stem;
+        report.lasso_cycle = r.lasso_cycle;
+      }
       break;
     }
     case Engine::kPortfolio:
@@ -913,7 +954,8 @@ VerifyReport Verifier::verify(const mcapi::Program& program,
 
   if (ctx.cancel_requested.load(std::memory_order_relaxed) &&
       report.verdict != Verdict::kViolation &&
-      report.verdict != Verdict::kDeadlock && report.agreed()) {
+      report.verdict != Verdict::kDeadlock &&
+      report.verdict != Verdict::kNonTermination && report.agreed()) {
     report.verdict = Verdict::kBudgetExhausted;
   }
   report.seconds = ctx.timer.seconds();
@@ -1029,6 +1071,10 @@ std::string report_to_json(const VerifyReport& report) {
   json_schedule(out, report.witness_schedule, program);
   out += ",\n  \"deadlock_schedule\": ";
   json_schedule(out, report.deadlock_schedule, program);
+  out += ",\n  \"lasso_stem\": ";
+  json_schedule(out, report.lasso_stem, program);
+  out += ",\n  \"lasso_cycle\": ";
+  json_schedule(out, report.lasso_cycle, program);
   out += ",\n  \"engines\": [";
   for (std::size_t i = 0; i < report.engines.size(); ++i) {
     const EngineRun& run = report.engines[i];

@@ -107,6 +107,18 @@ struct VerifyRequest {
   /// Extra end-of-run properties, conjoined with in-program assertions.
   std::vector<encode::Property> properties;
 
+  /// Stateful exploration for the explicit and DPOR engines (see
+  /// check/state_space.hpp): visited-state matching through an LRU-bounded
+  /// store, on-stack cycle detection, and kNonTermination verdicts with a
+  /// replayable lasso witness when a non-progressive cycle is realized. On
+  /// loop-free programs reports are byte-identical to stateless runs apart
+  /// from the extra state-space counters; on cyclic programs this is what
+  /// makes the search terminate with a classification. Forces DPOR serial
+  /// (workers only shard the symbolic stage / portfolio engines).
+  bool stateful = false;
+  /// Visited-store capacity in states for stateful mode; 0 = unbounded.
+  std::size_t state_capacity = VisitedStateStore::kDefaultCapacity;
+
   /// Portfolio: also run the sleep-set DPOR baseline (A/B cross-check).
   bool check_dpor_modes = true;
   /// Replay every SAT witness concretely (continue-past-violation mode, so
@@ -121,6 +133,8 @@ enum class Verdict : std::uint8_t {
                      // symbolic engine, none consistent with the trace(s))
   kViolation,        // a property violation is reachable (witness attached)
   kDeadlock,         // a deadlock is reachable (schedule attached)
+  kNonTermination,   // stateful mode: a non-progressive cycle is realized
+                     // (lasso witness attached — see lasso_stem/lasso_cycle)
   kBudgetExhausted,  // search truncated or cancelled before an answer
   kUnknown,          // no verdict: portfolio disagreement / assert-props mode
 };
@@ -185,6 +199,12 @@ struct VerifyReport {
   std::vector<mcapi::Action> witness_schedule;
   /// Schedule reaching the deadlock (kDeadlock) — replayable.
   std::vector<mcapi::Action> deadlock_schedule;
+  /// Stateful mode, kNonTermination: replay `lasso_stem` from the initial
+  /// state to enter the cycle, then `lasso_cycle` returns to the same
+  /// semantic state with no message matched in between — the realized
+  /// livelock witness. Empty otherwise.
+  std::vector<mcapi::Action> lasso_stem;
+  std::vector<mcapi::Action> lasso_cycle;
 
   std::vector<EngineRun> engines;       // one per engine actually run
   std::vector<std::string> disagreements;  // portfolio cross-check failures

@@ -396,4 +396,101 @@ Program branchy_race() {
   return p;
 }
 
+Program select_server_loop(std::uint32_t clients) {
+  Program p;
+  auto rx = p.add_thread("rx");
+  const EndpointRef ea = p.add_endpoint("ssl_a", rx.ref());
+  const EndpointRef eb = p.add_endpoint("ssl_b", rx.ref());
+  for (std::uint32_t i = 0; i < clients; ++i) {
+    auto ca = p.add_thread("ca" + std::to_string(i));
+    const EndpointRef oa = p.add_endpoint("ssl_oa" + std::to_string(i), ca.ref());
+    ca.send(oa, ea, 100 + static_cast<std::int64_t>(i));
+    auto cb = p.add_thread("cb" + std::to_string(i));
+    const EndpointRef ob = p.add_endpoint("ssl_ob" + std::to_string(i), cb.ref());
+    cb.send(ob, eb, 200 + static_cast<std::int64_t>(i));
+  }
+
+  // One service round per client pair: select over one request per
+  // endpoint, wait the loser so both slots are consumed before the next
+  // round reuses them, then advance the round counter and loop.
+  rx.assign("n", ThreadBuilder::c(0))
+      .label("round")
+      .recv_nb(ea, "A", 0)
+      .recv_nb(eb, "B", 1)
+      .wait_any({0, 1}, "idx")
+      .jump_if(Cond{rx.v("idx"), Rel::kEq, ThreadBuilder::c(0)}, "a_won")
+      .wait(0)
+      .jump("next")
+      .label("a_won")
+      .wait(1)
+      .label("next")
+      .assign("n", rx.v("n", 1))
+      .jump_if(Cond{rx.v("n"), Rel::kLt,
+                    ThreadBuilder::c(static_cast<std::int64_t>(clients))},
+               "round");
+  p.finalize();
+  return p;
+}
+
+Program request_stream(std::uint32_t n) {
+  Program p;
+  auto prod = p.add_thread("prod");
+  auto relay = p.add_thread("relay");
+  auto cons = p.add_thread("cons");
+  const EndpointRef pe = p.add_endpoint("rs_prod", prod.ref());
+  const EndpointRef re = p.add_endpoint("rs_relay", relay.ref());
+  const EndpointRef ce = p.add_endpoint("rs_cons", cons.ref());
+  const auto bound = ThreadBuilder::c(static_cast<std::int64_t>(n));
+
+  prod.assign("i", ThreadBuilder::c(0))
+      .label("loop")
+      .send(pe, re, prod.v("i", 100))
+      .assign("i", prod.v("i", 1))
+      .jump_if(Cond{prod.v("i"), Rel::kLt, bound}, "loop");
+
+  relay.assign("j", ThreadBuilder::c(0))
+      .label("loop")
+      .recv(re, "x")
+      .send(re, ce, relay.v("x", 1))
+      .assign("j", relay.v("j", 1))
+      .jump_if(Cond{relay.v("j"), Rel::kLt, bound}, "loop");
+
+  // Per-channel FIFO pins the stream order, so the last drained value is
+  // determined: (n-1) + 100 + 1.
+  cons.assign("k", ThreadBuilder::c(0))
+      .label("loop")
+      .recv(ce, "y")
+      .assign("k", cons.v("k", 1))
+      .jump_if(Cond{cons.v("k"), Rel::kLt, bound}, "loop")
+      .assert_that(Cond{cons.v("y"), Rel::kEq,
+                        ThreadBuilder::c(static_cast<std::int64_t>(n) + 100)});
+
+  p.finalize();
+  return p;
+}
+
+Program livelock_pair() {
+  Program p;
+  auto ta = p.add_thread("spin_a");
+  auto tb = p.add_thread("spin_b");
+  const EndpointRef ea = p.add_endpoint("ll_a", ta.ref());
+  const EndpointRef eb = p.add_endpoint("ll_b", tb.ref());
+
+  // The request can never complete (nothing is ever sent), so the poll
+  // stores 0 forever and the jump_if re-enters the same state.
+  ta.recv_nb(ea, "x", 0)
+      .label("spin")
+      .test_poll(0, "f")
+      .jump_if(Cond{ta.v("f"), Rel::kEq, ThreadBuilder::c(0)}, "spin")
+      .wait(0);
+  tb.recv_nb(eb, "x", 0)
+      .label("spin")
+      .test_poll(0, "f")
+      .jump_if(Cond{tb.v("f"), Rel::kEq, ThreadBuilder::c(0)}, "spin")
+      .wait(0);
+
+  p.finalize();
+  return p;
+}
+
 }  // namespace mcsym::check::workloads

@@ -129,4 +129,29 @@ struct Figure1WithProperty {
 /// traces with branch events, exercising the PEvents path-pinning logic.
 [[nodiscard]] mcapi::Program branchy_race();
 
+/// select_server with a real service loop: the server runs `clients` rounds
+/// of a counter-driven jump_if loop, each round posting one recv_i per
+/// endpoint, selecting with wait_any, waiting the loser, and advancing the
+/// round counter; client i races 100+i at endpoint A and 200+i at endpoint
+/// B. Finite (the counter bounds the loop) and safe, but its loop re-enters
+/// structurally identical server states across interleavings — the stateful
+/// exploration workload (visited-state hits collapse the re-exploration;
+/// stateless DPOR re-walks every suffix).
+[[nodiscard]] mcapi::Program select_server_loop(std::uint32_t clients);
+
+/// Counter-loop pipeline: a producer loops sending `n` sequenced requests,
+/// a relay loops receiving and forwarding each (+1), and a consumer loops
+/// draining them, asserting the per-channel-FIFO-determined last value.
+/// Every thread is a back-edge loop rather than unrolled straight-line
+/// code; safe in every execution.
+[[nodiscard]] mcapi::Program request_stream(std::uint32_t n);
+
+/// Two-thread livelock: each thread posts one recv_i on its own endpoint
+/// and spins on test_poll — and nobody ever sends. Every state repeats with
+/// no message matched in between, so the program can run forever without
+/// progress. The stateless explicit engine silently prunes the spin states
+/// and reports "safe"; stateful exploration classifies the cycle and
+/// reports non-termination with a replayable lasso.
+[[nodiscard]] mcapi::Program livelock_pair();
+
 }  // namespace mcsym::check::workloads

@@ -687,6 +687,23 @@ std::uint64_t System::fingerprint() const {
       mix(slot);
     }
   }
+  // Under kGlobalFifo the next delivery is the globally oldest in-transit
+  // message, so the *relative* uid order across channels is semantic state:
+  // two states whose channels hold the same values but interleave
+  // differently in send order have different futures. Ranks, not raw uids —
+  // uids are per-run issue ordinals and absolute values must not leak into
+  // a cross-path fingerprint (mirrors history_fingerprint).
+  std::vector<SendUid> uids;
+  if (mode_ == DeliveryMode::kGlobalFifo) {
+    for (const auto& [channel, queue] : transit_) {
+      for (const Message& m : queue) uids.push_back(m.uid);
+    }
+    std::sort(uids.begin(), uids.end());
+  }
+  auto uid_rank = [&uids](SendUid uid) -> std::uint64_t {
+    const auto it = std::lower_bound(uids.begin(), uids.end(), uid);
+    return static_cast<std::uint64_t>(it - uids.begin());
+  };
   // Channel order in transit_ is insertion-dependent; hash order-insensitively
   // by combining per-channel hashes with XOR.
   std::uint64_t channels = 0;
@@ -701,7 +718,10 @@ std::uint64_t System::fingerprint() const {
     if (queue.empty()) continue;
     mix_ch(channel.src);
     mix_ch(channel.dst);
-    for (const Message& m : queue) mix_ch(static_cast<std::uint64_t>(m.value));
+    for (const Message& m : queue) {
+      mix_ch(static_cast<std::uint64_t>(m.value));
+      if (mode_ == DeliveryMode::kGlobalFifo) mix_ch(uid_rank(m.uid));
+    }
     channels ^= ch;
   }
   mix(channels);
@@ -709,6 +729,71 @@ std::uint64_t System::fingerprint() const {
   // how many asserts already fired never collide.
   mix(violations_.size());
   return h;
+}
+
+std::string System::semantic_key() const {
+  // The exact field set fingerprint() hashes, serialized losslessly — the
+  // collision-soundness battery maps fingerprint -> semantic_key and any
+  // fingerprint shared by two distinct keys is a real collision. Channels
+  // are emitted in (src, dst) order so the serialization is as
+  // insertion-order-insensitive as the XOR combine in fingerprint().
+  std::string out;
+  auto put = [&out](std::int64_t v) {
+    out += std::to_string(v);
+    out += ',';
+  };
+  for (const ThreadState& ts : threads_) {
+    out += 'T';
+    put(ts.pc);
+    put(ts.halted ? 1 : 0);
+    for (const std::int64_t v : ts.locals) put(v);
+    for (const Request& r : ts.requests) {
+      put(static_cast<std::int64_t>(r.state));
+      put(r.value);
+    }
+  }
+  for (const EndpointState& ep : endpoints_) {
+    out += 'E';
+    for (const Message& m : ep.queue) {
+      put(m.value);
+      put(m.src);
+    }
+    out += '|';
+    for (const auto& [t, slot] : ep.pending) {
+      put(t);
+      put(slot);
+    }
+  }
+  std::vector<SendUid> uids;
+  if (mode_ == DeliveryMode::kGlobalFifo) {
+    for (const auto& [channel, queue] : transit_) {
+      for (const Message& m : queue) uids.push_back(m.uid);
+    }
+    std::sort(uids.begin(), uids.end());
+  }
+  std::vector<const std::pair<ChannelId, std::deque<Message>>*> chans;
+  for (const auto& entry : transit_) {
+    if (!entry.second.empty()) chans.push_back(&entry);
+  }
+  std::sort(chans.begin(), chans.end(), [](const auto* a, const auto* b) {
+    if (a->first.src != b->first.src) return a->first.src < b->first.src;
+    return a->first.dst < b->first.dst;
+  });
+  for (const auto* entry : chans) {
+    out += 'C';
+    put(entry->first.src);
+    put(entry->first.dst);
+    for (const Message& m : entry->second) {
+      put(m.value);
+      if (mode_ == DeliveryMode::kGlobalFifo) {
+        const auto it = std::lower_bound(uids.begin(), uids.end(), m.uid);
+        put(it - uids.begin());
+      }
+    }
+  }
+  out += 'V';
+  put(static_cast<std::int64_t>(violations_.size()));
+  return out;
 }
 
 support::Hash128 System::history_fingerprint() const {

@@ -293,7 +293,14 @@ class System {
 
   /// Hash of the semantic state (pcs, locals, queues, requests) — match and
   /// branch history excluded, so it suits safety-reachability pruning.
+  /// Under kGlobalFifo the relative uid ranks of in-transit messages are
+  /// included (they determine the deterministic delivery order).
   [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Lossless serialization of exactly the fields fingerprint() hashes.
+  /// Test support for the collision-soundness battery: two states with
+  /// equal fingerprints but different semantic keys are a hash collision.
+  [[nodiscard]] std::string semantic_key() const;
 
   /// 128-bit hash of the semantic state *plus* the accumulated match and
   /// branch history (both order-canonicalized). Two states with equal

@@ -440,6 +440,88 @@ TEST(CliTest, ServeTimeoutCancelsViaTheProgressPath) {
   EXPECT_NE(r.output.find("\"id\":\"t2\",\"ok\":true"), std::string::npos);
 }
 
+std::string livelock() {
+  return std::string(MCSYM_EXAMPLES_DIR) + "/livelock.mcp";
+}
+
+TEST(CliTest, VerifyStatefulClassifiesTheLivelock) {
+  // Stateless explicit: a vacuous "safe" (exit 0) — the engine fingerprint-
+  // prunes the spin states without classifying the infinite behavior.
+  const CliResult vacuous =
+      run_cli("verify " + livelock() + " --engine=explicit");
+  EXPECT_EQ(vacuous.exit_code, 0) << vacuous.output;
+  EXPECT_NE(vacuous.output.find("verdict: safe"), std::string::npos);
+
+  // --stateful: non-termination verdict, exit code 4, and the lasso witness
+  // both in the text summary and the JSON report (with the store counters).
+  const CliResult r = run_cli("verify " + livelock() +
+                              " --engine=explicit --stateful --json");
+  EXPECT_EQ(r.exit_code, 4) << r.output;
+  EXPECT_NE(r.output.find("\"verdict\": \"non-termination\""),
+            std::string::npos);
+  EXPECT_NE(r.output.find("\"lasso_stem\": ["), std::string::npos);
+  EXPECT_NE(r.output.find("\"lasso_cycle\": ["), std::string::npos);
+  EXPECT_NE(r.output.find("\"state_hits\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"cycles_found\""), std::string::npos);
+
+  const CliResult text =
+      run_cli("verify " + livelock() + " --engine=explicit --stateful");
+  EXPECT_EQ(text.exit_code, 4) << text.output;
+  EXPECT_NE(text.output.find("non-termination lasso:"), std::string::npos);
+}
+
+TEST(CliTest, VerifyStateCapacityImpliesStatefulOnTheDefaultEngine) {
+  // --state-capacity alone turns stateful mode on; the default (DPOR)
+  // engine classifies the livelock the same way.
+  const CliResult r = run_cli("verify " + livelock() + " --state-capacity 64");
+  EXPECT_EQ(r.exit_code, 4) << r.output;
+  EXPECT_NE(r.output.find("verdict: non-termination"), std::string::npos);
+}
+
+TEST(CliTest, BatchRanksNonTerminationBetweenViolationAndBudget) {
+  const std::string manifest = testing::TempDir() + "/mcsym_manifest_nt.txt";
+  {
+    std::ofstream out(manifest);
+    out << figure1() << "\n" << livelock() << "\n";
+  }
+  // Safe (figure1 under explicit) + non-termination (livelock): worst wins.
+  const CliResult r =
+      run_cli("verify " + manifest + " --batch --engine=explicit --stateful");
+  EXPECT_EQ(r.exit_code, 4) << r.output;
+  EXPECT_NE(r.output.find("\"verdict\":\"non-termination\",\"exit\":4"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("\"verdict\":\"safe\",\"exit\":0"),
+            std::string::npos);
+}
+
+TEST(CliTest, ServeStatefulOptionAndVerdictCache) {
+  std::ifstream example(livelock());
+  ASSERT_TRUE(example.good());
+  const std::string program((std::istreambuf_iterator<char>(example)),
+                            std::istreambuf_iterator<char>());
+  const std::string requests = testing::TempDir() + "/mcsym_serve_nt.txt";
+  {
+    std::ofstream out(requests);
+    // Same program with and without stateful=1: different cache keys,
+    // different verdicts. The repeat must hit the cache — non-termination
+    // is a definitive (cacheable) verdict.
+    out << "verify id=nt1 stateful=1 engine=explicit\n" << program << ".\n";
+    out << "verify id=nt2 stateful=1 engine=explicit\n" << program << ".\n";
+    out << "verify id=plain engine=explicit\n" << program << ".\n";
+    out << "quit\n";
+  }
+  const CliResult r = run_cli("serve < " + requests);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"id\":\"nt1\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"verdict\":\"non-termination\",\"exit\":4"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("\"id\":\"nt2\",\"ok\":true"), std::string::npos);
+  EXPECT_NE(r.output.find("\"cache_hit\":true"), std::string::npos);
+  EXPECT_NE(r.output.find("\"id\":\"plain\",\"ok\":true"), std::string::npos);
+  EXPECT_NE(r.output.find("\"verdict\":\"safe\",\"exit\":0"),
+            std::string::npos);
+}
+
 TEST(CliTest, ServeJsonOptionAppendsTheReport) {
   std::ifstream example(figure1());
   const std::string program((std::istreambuf_iterator<char>(example)),

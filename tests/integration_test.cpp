@@ -110,6 +110,40 @@ TEST(IntegrationTest, VerifierPortfolioAgreesOnEveryWorkload) {
   }
 }
 
+TEST(IntegrationTest, StatefulPortfolioClassifiesTheLoopingWorkloads) {
+  // The looping workloads through the same portfolio path: the finite loops
+  // get a definitive safe verdict (stateful matching is what lets the
+  // explicit/DPOR engines terminate on them with a classification), and the
+  // livelock gets the non-termination verdict with a lasso witness.
+  struct Case {
+    const char* name;
+    mcapi::Program program;
+    check::Verdict expected;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"select_server_loop", wl::select_server_loop(2),
+                   check::Verdict::kSafe});
+  cases.push_back(
+      {"request_stream", wl::request_stream(3), check::Verdict::kSafe});
+  cases.push_back(
+      {"livelock_pair", wl::livelock_pair(), check::Verdict::kNonTermination});
+
+  check::Verifier verifier;
+  for (auto& c : cases) {
+    check::VerifyRequest req;
+    req.engine = check::Engine::kPortfolio;
+    req.stateful = true;
+    req.traces = 3;
+    const check::VerifyReport report = verifier.verify(c.program, req);
+    EXPECT_EQ(report.verdict, c.expected) << c.name;
+    EXPECT_TRUE(report.agreed())
+        << c.name << ": " << report.disagreements.front();
+    if (c.expected == check::Verdict::kNonTermination) {
+      EXPECT_FALSE(report.lasso_cycle.empty()) << c.name;
+    }
+  }
+}
+
 TEST(IntegrationTest, SmtLibExportParsesStructurally) {
   const mcapi::Program p = wl::figure1();
   const trace::Trace tr = record(p);

@@ -442,6 +442,8 @@ TEST(VerifierJsonTest, GoldenViolationReport) {
   "violations": [{"thread": "t0", "op_index": 1, "cond": "A == 1"}],
   "witness_schedule": ["step(t1)", "step(t2)", "deliver(e2->e0)", "step(t0)", "step(t0)"],
   "deadlock_schedule": [],
+  "lasso_stem": [],
+  "lasso_cycle": [],
   "engines": [
     {"engine": "dpor", "verdict": "violation", "truncated": false, "seconds": 0.000000, "counters": {"transitions": 11, "executions": 2, "terminal_states": 1, "races_detected": 1, "wakeup_nodes": 1, "sleep_prunes": 0, "redundant_explorations": 0}}
   ],
@@ -466,6 +468,8 @@ TEST(VerifierJsonTest, GoldenDeadlockReport) {
   "violations": [],
   "witness_schedule": [],
   "deadlock_schedule": [],
+  "lasso_stem": [],
+  "lasso_cycle": [],
   "engines": [
     {"engine": "explicit", "verdict": "deadlock", "truncated": false, "seconds": 0.000000, "counters": {"states_expanded": 1, "transitions": 0, "terminal_states": 0}}
   ],
@@ -490,6 +494,8 @@ TEST(VerifierJsonTest, GoldenSafeReport) {
   "violations": [],
   "witness_schedule": [],
   "deadlock_schedule": [],
+  "lasso_stem": [],
+  "lasso_cycle": [],
   "engines": [
     {"engine": "explicit", "verdict": "safe", "truncated": false, "seconds": 0.000000, "counters": {"states_expanded": 5, "transitions": 4, "terminal_states": 1}},
     {"engine": "dpor", "verdict": "safe", "truncated": false, "seconds": 0.000000, "counters": {"transitions": 4, "executions": 1, "terminal_states": 1, "races_detected": 0, "wakeup_nodes": 0, "sleep_prunes": 0, "redundant_explorations": 0}},
@@ -518,6 +524,8 @@ TEST(VerifierJsonTest, GoldenBudgetExhaustedReport) {
   "violations": [],
   "witness_schedule": [],
   "deadlock_schedule": [],
+  "lasso_stem": [],
+  "lasso_cycle": [],
   "engines": [
     {"engine": "explicit", "verdict": "budget-exhausted", "truncated": true, "seconds": 0.000000, "counters": {"states_expanded": 5, "transitions": 5, "terminal_states": 0}}
   ],

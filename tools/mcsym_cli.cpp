@@ -28,7 +28,8 @@
 // recording, engine plumbing, witness replay, and cross-checking.
 //
 // Exit codes: 0 = success / verified safe; 1 = a violation or deadlock is
-// reachable; 2 = usage or input error; 3 = budget exhausted / no verdict.
+// reachable; 2 = usage or input error; 3 = budget exhausted / no verdict;
+// 4 = non-termination (--stateful: a non-progressive cycle is realized).
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -100,7 +101,7 @@ verify options:
                        comments); every entry is verified through one
                        shared service and emits a mcsym.batch/1 envelope
                        line (with --json followed by the full report);
-                       exit is the worst entry (2 > 1 > 3 > 0)
+                       exit is the worst entry (2 > 1 > 4 > 3 > 0)
   --cache N            verdict-cache capacity for --batch / serve
                        (default 256); --no-cache disables caching
   --max-seconds S      joint wall-clock budget across all engines (default off)
@@ -108,6 +109,14 @@ verify options:
   --max-transitions N  DPOR budget (transitions executed)
   --conflicts N        CDCL conflict budget per solver query (default off)
   --traces N           traces to record and check (symbolic/portfolio, default 1)
+  --stateful           visited-state matching + cycle detection for the
+                       explicit/DPOR engines: looping programs terminate
+                       with a definitive verdict, and a realized
+                       non-progressive cycle reports non-termination
+                       (exit 4) with a replayable lasso witness
+  --state-capacity N   visited-store capacity in states for --stateful
+                       (default 1048576; 0 = unbounded; eviction trades
+                       re-exploration for bounded memory)
   --workers N          worker threads: work-stealing DPOR exploration,
                        sharded symbolic per-trace checks, concurrent
                        portfolio engines (default 1 = serial; verdicts are
@@ -141,7 +150,7 @@ common options:
 
 exit codes: 0 ok / verified safe; 1 violation or deadlock reachable
             (check: SAT); 2 usage or input error; 3 budget exhausted /
-            no verdict (verify)
+            no verdict (verify); 4 non-termination (verify --stateful)
 )";
 
 struct Options {
@@ -169,6 +178,9 @@ struct Options {
   std::uint64_t conflicts = 0;
   std::uint32_t traces = 1;
   std::uint32_t workers = 1;
+  bool stateful = false;
+  std::uint64_t state_capacity =
+      mcsym::check::VisitedStateStore::kDefaultCapacity;  // 0 = unbounded
   bool batch = false;
   std::size_t cache_capacity = 256;  // --batch / serve verdict cache
   // serve per-request only (set from `k=v` header options, not flags):
@@ -266,6 +278,13 @@ std::optional<Options> parse_args(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
       o.workers = resolve_workers(v);
+    } else if (a == "--stateful") {
+      o.stateful = true;
+    } else if (a == "--state-capacity") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      o.stateful = true;  // capacity only means anything stateful
+      o.state_capacity = std::strtoull(v, nullptr, 10);
     } else if (a == "-o") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
@@ -393,12 +412,14 @@ int cmd_trace(const Options& o) {
 }
 
 /// Maps a facade verdict to the documented exit-code contract:
-/// 0 safe, 1 violation or deadlock, 3 budget exhausted / no verdict.
+/// 0 safe, 1 violation or deadlock, 3 budget exhausted / no verdict,
+/// 4 non-termination (stateful mode).
 int verdict_exit_code(mcsym::check::Verdict verdict) {
   switch (verdict) {
     case mcsym::check::Verdict::kSafe: return 0;
     case mcsym::check::Verdict::kViolation:
     case mcsym::check::Verdict::kDeadlock: return 1;
+    case mcsym::check::Verdict::kNonTermination: return 4;
     case mcsym::check::Verdict::kBudgetExhausted:
     case mcsym::check::Verdict::kUnknown: return 3;
   }
@@ -428,6 +449,8 @@ std::optional<mcsym::check::VerifyRequest> request_from_options(
   req.round_robin = o.round_robin;
   req.traces = o.traces;
   req.workers = o.workers;
+  req.stateful = o.stateful;
+  req.state_capacity = static_cast<std::size_t>(o.state_capacity);
   req.symbolic = symbolic_options(o);
   if (o.timeout > 0) {
     // The per-request wall-clock limit rides the existing cancellation
@@ -477,6 +500,12 @@ int cmd_verify(const Options& o) {
       !vr.deadlock_schedule.empty()) {
     report << "deadlock schedule: " << vr.deadlock_schedule.size()
            << " actions (replayable; 0 = the initial state deadlocks)\n";
+  }
+  if (vr.verdict == mcsym::check::Verdict::kNonTermination) {
+    report << "non-termination lasso: " << vr.lasso_stem.size()
+           << " stem + " << vr.lasso_cycle.size()
+           << " cycle actions (replay the stem, then the cycle returns to "
+              "the same state with no message matched)\n";
   }
   for (const auto& run : vr.engines) {
     report << "engine " << mcsym::check::engine_name(run.engine) << ": "
@@ -549,12 +578,14 @@ void append_reply_fields(std::ostringstream& os,
 }
 
 /// Worst-exit precedence for batch mode: usage/input errors dominate, then
-/// findings, then exhausted budgets, then clean safes.
+/// findings (violations/deadlocks, then non-termination), then exhausted
+/// budgets, then clean safes.
 int combine_exit(int a, int b) {
   auto rank = [](int code) {
     switch (code) {
-      case 2: return 3;
-      case 1: return 2;
+      case 2: return 4;
+      case 1: return 3;
+      case 4: return 2;
       case 3: return 1;
       default: return 0;
     }
@@ -633,11 +664,11 @@ int cmd_verify_batch(const Options& o) {
 //   quit                  exit 0 (as does EOF)
 //
 // Header options override this process's command-line defaults per request:
-// engine, seed, traces, workers, round-robin (0/1), max-seconds, max-states,
-// max-transitions, conflicts, timeout (wall-clock seconds, cancels via the
-// progress callback), json (0/1: append the mcsym.verify/1 report), and id
-// (echoed in the reply). Values cannot contain spaces; properties belong in
-// the program text.
+// engine, seed, traces, workers, round-robin (0/1), stateful (0/1),
+// state-capacity, max-seconds, max-states, max-transitions, conflicts,
+// timeout (wall-clock seconds, cancels via the progress callback), json
+// (0/1: append the mcsym.verify/1 report), and id (echoed in the reply).
+// Values cannot contain spaces; properties belong in the program text.
 //
 // Every reply is one mcsym.serve/1 envelope line, then (json=1, ok) the
 // report document, then a line containing only ".". Malformed headers,
@@ -703,6 +734,11 @@ int cmd_serve(const Options& o) {
         ro.workers = resolve_workers(value);
       } else if (key == "round-robin") {
         ro.round_robin = value != "0";
+      } else if (key == "stateful") {
+        ro.stateful = value != "0";
+      } else if (key == "state-capacity") {
+        ro.stateful = true;
+        ro.state_capacity = std::strtoull(value.c_str(), nullptr, 10);
       } else if (key == "max-seconds") {
         ro.max_seconds = std::strtod(value.c_str(), nullptr);
       } else if (key == "max-states") {

@@ -8,11 +8,17 @@
 #   BENCH_OUT_DIR   where the .json files land (default: the build dir)
 #   BENCH_MIN_TIME  per-benchmark min time, e.g. 2s for stable numbers
 #                   (default 0.05s: quick smoke that still emits real data)
+#   BENCH_FILTER    extended regex over bench names; only matching benches
+#                   run (e.g. 'state_space|service'). Skipped benches emit
+#                   no JSON — downstream bench_gate.py counter gates treat
+#                   a bench missing from the run as a skip, not a failure,
+#                   so a filtered perf night stays green.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${BENCH_OUT_DIR:-$BUILD_DIR}"
 MIN_TIME="${BENCH_MIN_TIME:-0.05s}"
+FILTER="${BENCH_FILTER:-}"
 
 benches=(
   bench_encoding
@@ -23,11 +29,17 @@ benches=(
   bench_poll
   bench_service
   bench_solver
+  bench_state_space
   bench_symbolic_vs_explicit
 )
 
 mkdir -p "$OUT_DIR"
+ran=0
 for b in "${benches[@]}"; do
+  if [[ -n "$FILTER" ]] && ! [[ "$b" =~ $FILTER ]]; then
+    echo "== $b (skipped by BENCH_FILTER='$FILTER')"
+    continue
+  fi
   exe="$BUILD_DIR/$b"
   if [[ ! -x "$exe" ]]; then
     echo "error: $exe not found or not executable (build first: cmake --build $BUILD_DIR -j)" >&2
@@ -37,6 +49,7 @@ for b in "${benches[@]}"; do
   "$exe" --benchmark_min_time="$MIN_TIME" \
          --benchmark_out="$OUT_DIR/BENCH_${b#bench_}.json" \
          --benchmark_out_format=json
+  ran=$((ran + 1))
 done
 
-echo "wrote ${#benches[@]} BENCH_*.json files to $OUT_DIR"
+echo "wrote $ran BENCH_*.json files to $OUT_DIR (${#benches[@]} known)"
